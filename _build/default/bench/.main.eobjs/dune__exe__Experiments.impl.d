@@ -1,0 +1,1 @@
+bench/experiments.ml: Adversary Agreement Array Core Ctm Detectors Dining Dsim Engine Float Fun Graphs Hashtbl Int64 List Option Printf Reduction String Trace Types Util Wsn

@@ -1,0 +1,1 @@
+bench/micro.ml: Adversary Analyze Bechamel Benchmark Core Detectors Dining Dsim Engine Graphs Hashtbl List Printf Prng Reduction Staged Test Time Toolkit Util

@@ -1,0 +1,38 @@
+(* Table rendering for the experiment harness. *)
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let table ~header rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let print_row row =
+    List.iteri (fun i cell -> Printf.printf "| %-*s " widths.(i) cell) row;
+    print_endline "|"
+  in
+  let rule () =
+    Array.iter (fun w -> Printf.printf "+%s" (String.make (w + 2) '-')) widths;
+    print_endline "+"
+  in
+  rule ();
+  print_row header;
+  rule ();
+  List.iter print_row rows;
+  rule ()
+
+let yes_no b = if b then "yes" else "NO"
+let ok_fail b = if b then "ok" else "FAIL"
+
+let opt_time = function Some t -> string_of_int t | None -> "-"
+
+let pct num den = if den = 0 then "-" else Printf.sprintf "%.0f%%" (100.0 *. float_of_int num /. float_of_int den)

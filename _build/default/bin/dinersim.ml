@@ -1,0 +1,569 @@
+(* dinersim — command-line driver for the simulator and the reduction.
+
+   Subcommands:
+     extract        run the ◇P (or T) extraction and report its properties
+     dining         run a dining algorithm on a topology and check its specs
+     vulnerability  replay the Section 3 scenario ([8] vs this paper)
+     wsn            duty-cycle scheduling demo
+     ctm            contention-manager boost demo
+
+   Every run is deterministic in --seed. *)
+
+open Cmdliner
+open Dsim
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing *)
+
+let seed_t =
+  let doc = "PRNG seed (all runs are deterministic in the seed)." in
+  Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"INT" ~doc)
+
+let horizon_t default =
+  let doc = "Number of global-clock ticks to simulate." in
+  Arg.(value & opt int default & info [ "horizon" ] ~docv:"TICKS" ~doc)
+
+let adversary_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "sync" ] -> Ok (Adversary.synchronous ())
+    | [ "async" ] -> Ok (Adversary.async_uniform ())
+    | [ "partial" ] -> Ok (Adversary.partial_sync ())
+    | [ "partial"; gst ] -> (
+        match int_of_string_opt gst with
+        | Some gst -> Ok (Adversary.partial_sync ~gst ())
+        | None -> Error (`Msg "partial:<gst> expects an integer"))
+    | [ "bursty" ] -> Ok (Adversary.bursty ())
+    | [ "bursty"; gst ] -> (
+        match int_of_string_opt gst with
+        | Some gst -> Ok (Adversary.bursty ~gst ())
+        | None -> Error (`Msg "bursty:<gst> expects an integer"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown adversary %S" s))
+  in
+  let print fmt (a : Adversary.t) = Format.pp_print_string fmt a.Adversary.name in
+  Arg.conv (parse, print)
+
+let adversary_t =
+  let doc =
+    "Run adversary: sync | async | partial[:GST] | bursty[:GST]. Controls message \
+     delays and step scheduling."
+  in
+  Arg.(
+    value
+    & opt adversary_conv (Adversary.partial_sync ~gst:500 ())
+    & info [ "adversary" ] ~docv:"KIND" ~doc)
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ pid; at ] -> (
+        match (int_of_string_opt pid, int_of_string_opt at) with
+        | Some pid, Some at -> Ok (pid, at)
+        | _ -> Error (`Msg "expected PID@TICK"))
+    | _ -> Error (`Msg "expected PID@TICK")
+  in
+  let print fmt (pid, at) = Format.fprintf fmt "%d@%d" pid at in
+  Arg.conv (parse, print)
+
+let crashes_t =
+  let doc = "Crash process $(i,PID) at tick $(i,TICK) (repeatable), e.g. --crash 2@5000." in
+  Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"PID@TICK" ~doc)
+
+let topology_conv =
+  let parse s =
+    let module G = Graphs.Conflict_graph in
+    match String.split_on_char ':' s with
+    | [ "pair" ] -> Ok (G.pair ())
+    | [ "ring"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 3 -> Ok (G.ring ~n)
+        | _ -> Error (`Msg "ring:<n> expects n >= 3"))
+    | [ "clique"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 -> Ok (G.clique ~n)
+        | _ -> Error (`Msg "clique:<n> expects n >= 2"))
+    | [ "star"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 -> Ok (G.star ~n)
+        | _ -> Error (`Msg "star:<n> expects n >= 2"))
+    | [ "path"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 -> Ok (G.path ~n)
+        | _ -> Error (`Msg "path:<n> expects n >= 2"))
+    | [ "grid"; dims ] -> (
+        match String.split_on_char 'x' dims with
+        | [ r; c ] -> (
+            match (int_of_string_opt r, int_of_string_opt c) with
+            | Some rows, Some cols when rows >= 1 && cols >= 1 -> Ok (G.grid ~rows ~cols)
+            | _ -> Error (`Msg "grid:<r>x<c> expects positive integers"))
+        | _ -> Error (`Msg "grid:<r>x<c>"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print fmt g =
+    Format.fprintf fmt "<graph n=%d edges=%d>" (Graphs.Conflict_graph.n g)
+      (List.length (Graphs.Conflict_graph.edges g))
+  in
+  Arg.conv (parse, print)
+
+let topology_t =
+  let doc = "Conflict graph: pair | ring:N | clique:N | star:N | path:N | grid:RxC." in
+  Arg.(value & opt topology_conv (Graphs.Conflict_graph.ring ~n:5)
+       & info [ "topology" ] ~docv:"SHAPE" ~doc)
+
+let dump_trace_t =
+  let doc = "Print the first $(i,N) trace events before the summary." in
+  Arg.(value & opt int 0 & info [ "dump-trace" ] ~docv:"N" ~doc)
+
+let csv_t =
+  let doc = "Export the full run trace as CSV to $(i,PATH)." in
+  Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"PATH" ~doc)
+
+let maybe_csv engine = function
+  | Some path ->
+      Dsim.Trace.write_csv (Dsim.Engine.trace engine) ~path;
+      Printf.printf "trace written to %s\n" path
+  | None -> ()
+
+let apply_crashes engine crashes =
+  List.iter (fun (pid, at) -> Engine.schedule_crash engine pid ~at) crashes
+
+let maybe_dump engine n =
+  if n > 0 then Trace.dump ~limit:n Format.std_formatter (Engine.trace engine)
+
+(* ------------------------------------------------------------------ *)
+(* extract *)
+
+let run_extract seed horizon adversary crashes n box lemmas dump csv =
+  let run =
+    match box with
+    | `Wf -> Core.Scenario.wf_extraction ~seed ~adversary ~with_lemma_monitors:lemmas ~n ()
+    | `Ftme -> Core.Scenario.ftme_extraction ~seed ~adversary ~n ()
+  in
+  let engine = run.Core.Scenario.engine in
+  apply_crashes engine crashes;
+  Engine.run engine ~until:horizon;
+  maybe_dump engine dump;
+  maybe_csv engine csv;
+  let trace = Engine.trace engine in
+  Printf.printf "extraction over %s box, n=%d, adversary=%s, horizon=%d\n"
+    (match box with `Wf -> "WF-◇WX" | `Ftme -> "perpetual-WX (FTME)")
+    n adversary.Adversary.name horizon;
+  Printf.printf "crashed: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (pid, at) -> Printf.sprintf "p%d@%d" pid at)
+          (Types.Pidmap.bindings (Trace.crash_times trace))));
+  List.iter
+    (fun pair ->
+      let flips =
+        Trace.suspicion_flips trace ~detector:"extracted" ~owner:pair.Reduction.Pair.watcher
+          ~target:pair.Reduction.Pair.subject
+      in
+      Printf.printf "  p%d about p%d: %d flips, finally %s\n" pair.Reduction.Pair.watcher
+        pair.Reduction.Pair.subject (List.length flips)
+        (if pair.Reduction.Pair.suspected () then "suspects" else "trusts"))
+    run.Core.Scenario.extract.Reduction.Extract.pairs;
+  let show name verdict =
+    Format.printf "%-26s %a@." name Detectors.Properties.pp_verdict verdict
+  in
+  show "strong completeness:"
+    (Detectors.Properties.strong_completeness trace ~detector:"extracted" ~n
+       ~initially_suspected:true);
+  show "eventual strong accuracy:"
+    (Detectors.Properties.eventual_strong_accuracy trace ~detector:"extracted" ~n
+       ~initially_suspected:true);
+  (match box with
+  | `Ftme ->
+      show "trusting accuracy:"
+        (Detectors.Properties.trusting_accuracy trace ~detector:"extracted" ~n
+           ~initially_suspected:true)
+  | `Wf -> ());
+  if lemmas then begin
+    print_endline "lemma checks:";
+    List.iter
+      (fun (pair, online) ->
+        let reports =
+          Reduction.Lemmas.online_reports online
+          @ Reduction.Lemmas.trace_reports ~engine ~pair
+        in
+        let bad = List.filter (fun r -> not (Reduction.Lemmas.ok r)) reports in
+        if bad = [] then Printf.printf "  pair %s: all lemmas OK\n" pair.Reduction.Pair.name
+        else
+          List.iter
+            (fun r -> Format.printf "  pair %s: %a@." pair.Reduction.Pair.name
+                Reduction.Lemmas.pp_report r)
+            bad)
+      run.Core.Scenario.onlines
+  end
+
+let extract_cmd =
+  let n_t =
+    Arg.(value & opt int 2 & info [ "n"; "procs" ] ~docv:"INT" ~doc:"Number of processes (>= 2).")
+  in
+  let box_t =
+    let doc = "Black-box dining used by the reduction: wf (WF-◇WX, extracts ◇P) or ftme \
+               (perpetual WX, extracts T)." in
+    Arg.(value & opt (enum [ ("wf", `Wf); ("ftme", `Ftme) ]) `Wf & info [ "box" ] ~doc)
+  in
+  let lemmas_t =
+    Arg.(value & flag & info [ "lemmas" ] ~doc:"Install and report the Lemma 1-12 monitors.")
+  in
+  let term =
+    Term.(
+      const run_extract $ seed_t $ horizon_t 20000 $ adversary_t $ crashes_t $ n_t $ box_t
+      $ lemmas_t $ dump_trace_t $ csv_t)
+  in
+  Cmd.v (Cmd.info "extract" ~doc:"Run the failure-detector extraction (the paper's reduction)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dining *)
+
+let run_dining seed horizon adversary crashes graph algo eat_ticks dump csv =
+  let n = Graphs.Conflict_graph.n graph in
+  let engine = Engine.create ~seed ~n ~adversary () in
+  let register_clients handle pid =
+    let ctx = Engine.ctx engine pid in
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ~eat_ticks ())
+  in
+  let instance = "din" in
+  (match algo with
+  | `Hygienic ->
+      for pid = 0 to n - 1 do
+        let ctx = Engine.ctx engine pid in
+        let comp, handle, _ = Dining.Hygienic.component ctx ~instance ~graph () in
+        Engine.register engine pid comp;
+        register_clients handle pid
+      done
+  | `Wf | `Kfair | `Fl1 ->
+      let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
+      for pid = 0 to n - 1 do
+        let ctx = Engine.ctx engine pid in
+        let comp, handle =
+          match algo with
+          | `Wf ->
+              let c, h, _ =
+                Dining.Wf_ewx.component ctx ~instance ~graph ~suspects:(suspects pid) ()
+              in
+              (c, h)
+          | `Fl1 -> Dining.Fl1.component ctx ~instance ~graph ~suspects:(suspects pid) ()
+          | `Kfair | `Hygienic | `Ftme ->
+              let c, h, _ =
+                Dining.Kfair.component ctx ~instance ~graph ~suspects:(suspects pid) ()
+              in
+              (c, h)
+        in
+        Engine.register engine pid comp;
+        register_clients handle pid
+      done
+  | `Ftme ->
+      for pid = 0 to n - 1 do
+        let ctx = Engine.ctx engine pid in
+        let comp, oracle =
+          Detectors.Ground_truth.trusting ctx ~peers:(List.init n Fun.id) ()
+        in
+        Engine.register engine pid comp;
+        let dcomp, handle, _ =
+          Dining.Ftme.component ctx ~instance ~members:(List.init n Fun.id)
+            ~suspects:(fun () -> oracle.Detectors.Oracle.suspects ())
+            ()
+        in
+        Engine.register engine pid dcomp;
+        register_clients handle pid
+      done);
+  apply_crashes engine crashes;
+  Engine.run engine ~until:horizon;
+  maybe_dump engine dump;
+  maybe_csv engine csv;
+  let trace = Engine.trace engine in
+  Printf.printf "dining %s on n=%d (%d edges), adversary=%s, horizon=%d\n"
+    (match algo with
+    | `Hygienic -> "hygienic" | `Wf -> "wf-◇wx" | `Kfair -> "k-fair" | `Ftme -> "ftme"
+    | `Fl1 -> "fl1")
+    n
+    (List.length (Graphs.Conflict_graph.edges graph))
+    adversary.Adversary.name horizon;
+  for pid = 0 to n - 1 do
+    Printf.printf "  p%d: %d meals%s\n" pid
+      (Dining.Monitor.eat_count trace ~instance ~pid)
+      (if Engine.is_live engine pid then "" else " (crashed)")
+  done;
+  let violations = Dining.Monitor.exclusion_violations trace ~instance ~graph ~horizon in
+  Printf.printf "exclusion violations: %d%s\n" (List.length violations)
+    (match Dining.Monitor.last_violation_time trace ~instance ~graph ~horizon with
+    | Some t -> Printf.sprintf " (last at t=%d)" t
+    | None -> "");
+  let wf = Dining.Monitor.wait_freedom trace ~instance ~n ~horizon ~slack:(horizon / 5) in
+  Format.printf "wait-freedom: %a@." Detectors.Properties.pp_verdict wf;
+  Printf.printf "max suffix overtaking (after t=%d): %d\n" (horizon / 2)
+    (Dining.Monitor.max_overtaking trace ~instance ~graph ~after:(horizon / 2) ~horizon);
+  Printf.printf "crash locality: %s; fairness index: %.2f\n"
+    (match
+       Dining.Monitor.failure_locality trace ~instance ~graph ~horizon ~slack:(horizon / 5)
+     with
+    | Some l -> string_of_int l
+    | None -> "unbounded")
+    (Dining.Monitor.fairness_index trace ~instance ~pids:(List.init n Fun.id))
+
+let dining_cmd =
+  let algo_t =
+    let doc = "Algorithm: hygienic | wf | kfair | ftme | fl1." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("hygienic", `Hygienic); ("wf", `Wf); ("kfair", `Kfair); ("ftme", `Ftme);
+               ("fl1", `Fl1) ])
+          `Wf
+      & info [ "algo" ] ~doc)
+  in
+  let eat_t =
+    Arg.(value & opt int 3 & info [ "eat-ticks" ] ~docv:"TICKS" ~doc:"Length of a meal.")
+  in
+  let term =
+    Term.(
+      const run_dining $ seed_t $ horizon_t 12000 $ adversary_t $ crashes_t $ topology_t
+      $ algo_t $ eat_t $ dump_trace_t $ csv_t)
+  in
+  Cmd.v (Cmd.info "dining" ~doc:"Run a dining algorithm and check its specification") term
+
+(* ------------------------------------------------------------------ *)
+(* vulnerability *)
+
+let run_vulnerability seed horizon mode =
+  let engine, suspected = Core.Scenario.vulnerability ~seed ~mode () in
+  Engine.run engine ~until:horizon;
+  let det = match mode with `Flawed_cm -> "flawed-cm" | `Our_reduction -> "extracted" in
+  let flips = Trace.suspicion_flips (Engine.trace engine) ~detector:det ~owner:1 ~target:0 in
+  Printf.printf
+    "Section 3 scenario (%s): correct q=p0 eats forever from the noisy prefix\n"
+    (match mode with `Flawed_cm -> "construction of [8]" | `Our_reduction -> "this paper");
+  Printf.printf "suspicion flips about the correct q: %d\n" (List.length flips);
+  Printf.printf "final attitude: %s\n" (if suspected () then "suspects q" else "trusts q");
+  Printf.printf "verdict: %s\n"
+    (match mode with
+    | `Flawed_cm ->
+        "accuracy violated — p keeps eating (box's exclusive suffix is void) and keeps \
+         suspecting the correct q"
+    | `Our_reduction -> "converged — the hand-off keeps the subject's sessions overlapping")
+
+let vulnerability_cmd =
+  let mode_t =
+    let doc = "Construction: flawed (the [8] extraction) or ours (the paper's reduction)." in
+    Arg.(
+      value
+      & opt (enum [ ("flawed", `Flawed_cm); ("ours", `Our_reduction) ]) `Flawed_cm
+      & info [ "mode" ] ~doc)
+  in
+  let term = Term.(const run_vulnerability $ seed_t $ horizon_t 20000 $ mode_t) in
+  Cmd.v (Cmd.info "vulnerability" ~doc:"Replay the Section 3 vulnerability scenario") term
+
+(* ------------------------------------------------------------------ *)
+(* wsn *)
+
+let run_wsn seed horizon scheduler areas nodes energy =
+  let config =
+    {
+      Wsn.Model.default_config with
+      Wsn.Model.areas;
+      nodes_per_area = nodes;
+      initial_energy = energy;
+    }
+  in
+  let n = areas * nodes in
+  let engine = Engine.create ~seed ~n ~adversary:(Adversary.partial_sync ~gst:300 ()) () in
+  let model = Wsn.Model.setup ~engine ~config ~scheduler () in
+  Engine.run engine ~until:horizon;
+  Printf.printf "WSN %dx%d, battery=%d, scheduler=%s\n" areas nodes energy
+    (match scheduler with Wsn.Model.Dining -> "wf-◇wx dining" | Wsn.Model.All_on -> "all-on");
+  (match Wsn.Model.lifetime model with
+  | Some t -> Printf.printf "network lifetime: %d ticks\n" t
+  | None -> Printf.printf "network alive at horizon (%d)\n" horizon);
+  List.iter
+    (fun s ->
+      if s.Wsn.Model.at mod (horizon / 10) < 50 then
+        Printf.printf "  t=%-6d covered=%d/%d redundant=%d alive=%d\n" s.Wsn.Model.at
+          s.Wsn.Model.covered areas s.Wsn.Model.redundant s.Wsn.Model.alive)
+    (Wsn.Model.coverage_series model ~sample_every:50 ~horizon)
+
+let wsn_cmd =
+  let scheduler_t =
+    Arg.(
+      value
+      & opt (enum [ ("dining", Wsn.Model.Dining); ("all-on", Wsn.Model.All_on) ])
+          Wsn.Model.Dining
+      & info [ "scheduler" ] ~doc:"dining | all-on")
+  in
+  let areas_t = Arg.(value & opt int 3 & info [ "areas" ] ~doc:"Coverage areas.") in
+  let nodes_t = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Nodes per area.") in
+  let energy_t = Arg.(value & opt int 600 & info [ "energy" ] ~doc:"Battery (duty ticks).") in
+  let term =
+    Term.(const run_wsn $ seed_t $ horizon_t 9000 $ scheduler_t $ areas_t $ nodes_t $ energy_t)
+  in
+  Cmd.v (Cmd.info "wsn" ~doc:"Sensor-network duty-cycle scheduling demo") term
+
+(* ------------------------------------------------------------------ *)
+(* ctm *)
+
+let run_ctm seed horizon clients with_cm =
+  let n = clients + 1 in
+  let engine = Engine.create ~seed ~n ~adversary:(Adversary.partial_sync ~gst:400 ()) () in
+  let store_comp, store_stats = Ctm.Store.component (Engine.ctx engine 0) () in
+  Engine.register engine 0 store_comp;
+  let client_pids = List.init clients (fun i -> i + 1) in
+  let graph =
+    Graphs.Conflict_graph.of_edges ~n
+      (List.concat_map
+         (fun a -> List.filter_map (fun b -> if a < b then Some (a, b) else None) client_pids)
+         client_pids)
+  in
+  let stats =
+    List.map
+      (fun pid ->
+        let ctx = Engine.ctx engine pid in
+        let cm =
+          if with_cm then begin
+            let fd, oracle = Detectors.Heartbeat.component ctx ~peers:client_pids () in
+            Engine.register engine pid fd;
+            let comp, handle, _ =
+              Dining.Wf_ewx.component ctx ~instance:"cm" ~graph
+                ~suspects:(fun () -> oracle.Detectors.Oracle.suspects ())
+                ()
+            in
+            Engine.register engine pid comp;
+            Some handle
+          end
+          else None
+        in
+        let comp, st = Ctm.Client.component ctx ~store:0 ?cm () in
+        Engine.register engine pid comp;
+        (pid, st))
+      client_pids
+  in
+  Engine.run engine ~until:horizon;
+  Printf.printf "%d transactional clients, %s, horizon=%d\n" clients
+    (if with_cm then "with contention manager" else "without contention manager")
+    horizon;
+  List.iter
+    (fun (pid, (st : Ctm.Client.stats)) ->
+      Printf.printf "  p%d: %d commits / %d aborts\n" pid st.Ctm.Client.commits
+        st.Ctm.Client.aborts)
+    stats;
+  Printf.printf "store: %d successful CAS, %d failed\n" store_stats.Ctm.Store.cas_ok
+    store_stats.Ctm.Store.cas_fail
+
+let ctm_cmd =
+  let clients_t = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Number of clients.") in
+  let cm_t = Arg.(value & flag & info [ "no-cm" ] ~doc:"Disable the contention manager.") in
+  let term =
+    Term.(
+      const (fun seed horizon clients no_cm -> run_ctm seed horizon clients (not no_cm))
+      $ seed_t $ horizon_t 12000 $ clients_t $ cm_t)
+  in
+  Cmd.v (Cmd.info "ctm" ~doc:"Contention-manager transaction boost demo") term
+
+(* ------------------------------------------------------------------ *)
+(* agreement *)
+
+let run_agreement seed horizon crashes n source =
+  let engine, suspects_of =
+    match source with
+    | `Extracted ->
+        let run = Core.Scenario.wf_extraction ~seed ~with_lemma_monitors:false ~n () in
+        ( run.Core.Scenario.engine,
+          fun pid ->
+            let oracle = Reduction.Extract.oracle run.Core.Scenario.extract pid in
+            fun () -> oracle.Detectors.Oracle.suspects () )
+    | `Native ->
+        let engine =
+          Engine.create ~seed ~n ~adversary:(Adversary.partial_sync ~gst:500 ()) ()
+        in
+        (engine, Core.Scenario.evp_suspects engine ~n ~windows:[])
+  in
+  let members = List.init n Fun.id in
+  let instances =
+    List.map
+      (fun pid ->
+        let ctx = Engine.ctx engine pid in
+        let c = Agreement.Consensus.create ctx ~members ~suspects:(suspects_of pid) () in
+        Engine.register engine pid c.Agreement.Consensus.component;
+        c.Agreement.Consensus.propose (100 + pid);
+        let l = Agreement.Leader.create ctx ~members ~suspects:(suspects_of pid) () in
+        Engine.register engine pid l.Agreement.Leader.component;
+        (pid, c, l))
+      members
+  in
+  apply_crashes engine crashes;
+  Engine.run engine ~until:horizon;
+  Printf.printf "consensus + leader election over the %s detector, n=%d\n"
+    (match source with `Native -> "native heartbeat" | `Extracted -> "dining-extracted")
+    n;
+  List.iter
+    (fun (pid, c, l) ->
+      if Engine.is_live engine pid then
+        Printf.printf "  p%d: decided=%s leader=p%d\n" pid
+          (match c.Agreement.Consensus.decided () with Some v -> string_of_int v | None -> "-")
+          (l.Agreement.Leader.leader ()))
+    instances;
+  Format.printf "agreement: %a@." Detectors.Properties.pp_verdict
+    (Agreement.Consensus.agreement (Engine.trace engine))
+
+let agreement_cmd =
+  let n_t =
+    Arg.(value & opt int 3 & info [ "n"; "procs" ] ~docv:"INT" ~doc:"Number of processes.")
+  in
+  let source_t =
+    let doc = "Detector: native (heartbeat ◇P) or extracted (from black-box dining)." in
+    Arg.(
+      value
+      & opt (enum [ ("native", `Native); ("extracted", `Extracted) ]) `Extracted
+      & info [ "detector" ] ~doc)
+  in
+  let term =
+    Term.(const run_agreement $ seed_t $ horizon_t 20000 $ crashes_t $ n_t $ source_t)
+  in
+  Cmd.v
+    (Cmd.info "agreement" ~doc:"Consensus and leader election over ◇P (native or extracted)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* certify *)
+
+let run_certify box seeds horizon =
+  let candidate =
+    match box with
+    | `Wf -> Core.Certify.wf_ewx_candidate
+    | `Kfair -> Core.Certify.kfair_candidate
+    | `Ftme -> Core.Certify.ftme_candidate
+    | `None -> Core.Certify.no_override_candidate
+  in
+  let report = Core.Certify.run ~seeds:(Core.Batch.seeds seeds) ~horizon candidate in
+  Format.printf "%a" Core.Certify.pp_report report;
+  if not report.Core.Certify.certified then exit 1
+
+let certify_cmd =
+  let box_t =
+    let doc = "Candidate black box: wf | kfair | ftme | none (negative control)." in
+    Arg.(
+      value
+      & opt (enum [ ("wf", `Wf); ("kfair", `Kfair); ("ftme", `Ftme); ("none", `None) ]) `Wf
+      & info [ "box" ] ~doc)
+  in
+  let seeds_t =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds per check.")
+  in
+  let term = Term.(const run_certify $ box_t $ seeds_t $ horizon_t 20000) in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Check that a dining implementation behaves as a WF-◇WX box and that ◇P is              extractable from it")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "simulator for wait-free dining under eventual weak exclusion and the ◇P reduction" in
+  let info = Cmd.info "dinersim" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ extract_cmd; dining_cmd; vulnerability_cmd; wsn_cmd; ctm_cmd; agreement_cmd; certify_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

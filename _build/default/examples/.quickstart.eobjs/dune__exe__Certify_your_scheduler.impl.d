@@ -1,0 +1,1 @@
+examples/certify_your_scheduler.ml: Component Context Core Dining Dsim Format List Msg Printf Types

@@ -1,0 +1,1 @@
+examples/certify_your_scheduler.mli:

@@ -1,0 +1,1 @@
+examples/consensus_via_dining.ml: Agreement Core Detectors Dsim Engine Format Fun List Printf Reduction String

@@ -1,0 +1,1 @@
+examples/consensus_via_dining.mli:

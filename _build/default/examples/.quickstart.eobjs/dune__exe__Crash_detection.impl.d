@@ -1,0 +1,1 @@
+examples/crash_detection.ml: Core Detectors Dsim Engine Format List Printf Trace

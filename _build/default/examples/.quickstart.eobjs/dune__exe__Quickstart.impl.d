@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Dsim Engine Format List Printf Reduction Trace

@@ -1,0 +1,1 @@
+examples/stm_boosting.ml: Adversary Ctm Detectors Dining Dsim Engine Graphs List Printf

@@ -1,0 +1,1 @@
+examples/wsn_duty_cycle.ml: Adversary Dsim Engine List Printf Wsn

@@ -1,0 +1,1 @@
+examples/wsn_duty_cycle.mli:

@@ -1,0 +1,1 @@
+lib/agreement/consensus.ml: Component Context Detectors Dsim Hashtbl List Msg Printf String Trace Types

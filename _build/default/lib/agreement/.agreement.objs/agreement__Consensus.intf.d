@@ -1,0 +1,1 @@
+lib/agreement/consensus.mli: Detectors Dsim

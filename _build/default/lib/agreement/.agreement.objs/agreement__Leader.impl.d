@@ -1,0 +1,1 @@
+lib/agreement/leader.ml: Component Context Dsim List Trace Types

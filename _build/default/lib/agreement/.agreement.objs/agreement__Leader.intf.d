@@ -1,0 +1,1 @@
+lib/agreement/leader.mli: Dsim

@@ -1,0 +1,43 @@
+(** Chandra–Toueg rotating-coordinator consensus over an unreliable
+    failure detector.
+
+    The paper's opening motivation for ◇P is that it "is sufficiently
+    powerful to solve many crash-tolerant problems including consensus
+    [3]". This module closes that loop for the reproduction: the detector
+    extracted from a black-box dining solution can be plugged in here and
+    used to reach agreement (see the [consensus_via_dining] example and the
+    C1 bench).
+
+    The algorithm is the classic ◇S-style rotating coordinator (◇P ⊆ ◇S):
+    rounds proceed through estimate collection (majority), a coordinator
+    proposal carrying the highest-timestamp estimate, ack/nack (nack when
+    the coordinator is suspected), and a reliably-broadcast decision once a
+    majority acks. Safety (agreement, validity) holds with {e any} detector
+    thanks to majority quorums; termination needs fewer than [n/2] crashes
+    and the detector's eventual accuracy. *)
+
+type t = {
+  propose : int -> unit;
+      (** Submit this process's input. First call wins; must be called for
+          the process to participate. *)
+  decided : unit -> int option;
+  round : unit -> int;  (** Current round (diagnostics). *)
+  component : Dsim.Component.t;
+}
+
+val create :
+  Dsim.Context.t ->
+  ?tag:string ->
+  members:Dsim.Types.pid list ->
+  suspects:(unit -> Dsim.Types.Pidset.t) ->
+  unit ->
+  t
+(** All members must register a component built with the same [tag]
+    (default ["consensus"]). Decisions are logged as a trace {!Dsim.Trace.Note}
+    with label ["decide"]. *)
+
+val decisions : Dsim.Trace.t -> (Dsim.Types.pid * Dsim.Types.time * int) list
+(** All logged decisions [(pid, time, value)], chronological. *)
+
+val agreement : Dsim.Trace.t -> Detectors.Properties.verdict
+(** No two processes decide differently. *)

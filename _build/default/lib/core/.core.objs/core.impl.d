@@ -1,0 +1,1 @@
+lib/core/core.ml: Agreement Batch Certify Ctm Detectors Dining Dsim Graphs Reduction Scenario Wsn

@@ -1,0 +1,1 @@
+lib/core/certify.ml: Adversary Array Batch Context Detectors Dining Dsim Engine Format Fun Graphs List Printf Reduction Scenario String Types

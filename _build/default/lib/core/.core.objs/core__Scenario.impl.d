@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Adversary Array Detectors Dining Dsim Engine Fun Graphs List Reduction Types

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Adversary Detectors Dining Dsim Engine Graphs Reduction Types

@@ -1,0 +1,51 @@
+(** Certification harness for candidate dining black boxes.
+
+    The paper's theorem is universally quantified: ◇P is extractable from
+    {e any} solution to WF-◇WX. This module turns that into a tool for
+    downstream users: plug in your own dining implementation and get an
+    empirical scorecard — does it behave as a WF-◇WX box (wait-freedom
+    with crashes, an exclusive suffix), and does the reduction actually
+    squeeze a working ◇P out of it (Theorems 1 and 2, plus the Lemma 1–12
+    run-time monitors)?
+
+    A certificate from finitely many schedules is evidence, not a proof —
+    but a {e failed} check is a definite counterexample, with the seed and
+    the violated property in the report. *)
+
+type candidate = {
+  name : string;
+  prepare : Dsim.Engine.t -> Reduction.Pair.dining_factory;
+      (** Called once per engine; register any per-process auxiliaries
+          (e.g. your failure-detector modules) here and return the factory
+          the harness will use to instantiate two-diner instances. *)
+}
+
+(** Built-in candidates (also serve as wiring examples). *)
+
+val wf_ewx_candidate : candidate
+val kfair_candidate : candidate
+val ftme_candidate : candidate
+
+val no_override_candidate : candidate
+(** Deliberately broken: dining without a failure detector. Fails the
+    wait-freedom check — kept as the harness's own negative control. *)
+
+type check = {
+  label : string;
+  passed : bool;
+  detail : string;
+}
+
+type report = {
+  candidate_name : string;
+  checks : check list;
+  certified : bool;  (** All checks passed. *)
+}
+
+val run : ?seeds:int64 list -> ?horizon:int -> candidate -> report
+(** Default: 3 seeds, horizon 20000 per scenario. Scenarios per seed:
+    box-level wait-freedom past a crash and eventual exclusion on a pair
+    instance, then a full extraction with correct processes (accuracy +
+    lemmas) and with a crashed subject (completeness). *)
+
+val pp_report : Format.formatter -> report -> unit

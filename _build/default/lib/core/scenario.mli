@@ -1,0 +1,78 @@
+(** Canned experiment scenarios.
+
+    One-call builders for the set-ups used throughout the test-suite,
+    benches, examples and the CLI: a WF-◇WX dining deployment, the full
+    ◇P extraction, the Section 9 T extraction, and the Section 3
+    vulnerability scenario. All are deterministic in [seed]. *)
+
+open Dsim
+
+type mistake_windows = (Types.pid * Detectors.Injected.window list) list
+(** Per-process adversarial false-suspicion windows injected into the
+    {e underlying} dining-layer ◇P modules. *)
+
+val evp_suspects :
+  Engine.t -> n:int -> windows:mistake_windows -> Types.pid -> unit -> Types.Pidset.t
+(** Deploy one heartbeat ◇P module per process (wrapped with injected
+    mistakes where configured) and return the per-process query functions. *)
+
+(** A dining deployment: one WF-◇WX diner per process plus greedy clients. *)
+type dining_run = {
+  engine : Engine.t;
+  graph : Graphs.Conflict_graph.t;
+  instance : string;
+  handles : Dining.Spec.handle array;
+}
+
+val wf_dining :
+  ?seed:int64 ->
+  ?adversary:Adversary.t ->
+  ?instance:string ->
+  ?eat_ticks:int ->
+  ?think_ticks:int ->
+  ?windows:mistake_windows ->
+  graph:Graphs.Conflict_graph.t ->
+  unit ->
+  dining_run
+
+(** A full reduction deployment. *)
+type extraction_run = {
+  engine : Engine.t;
+  extract : Reduction.Extract.t;
+  onlines : (Reduction.Pair.t * Reduction.Lemmas.online) list;
+}
+
+val wf_extraction :
+  ?seed:int64 ->
+  ?adversary:Adversary.t ->
+  ?windows:mistake_windows ->
+  ?with_lemma_monitors:bool ->
+  n:int ->
+  unit ->
+  extraction_run
+(** ◇P extraction from the WF-◇WX black box (heartbeat ◇P underneath). *)
+
+val ftme_extraction :
+  ?seed:int64 ->
+  ?adversary:Adversary.t ->
+  ?detection_delay:int ->
+  n:int ->
+  unit ->
+  extraction_run
+(** T extraction from the perpetual-WX black box (trusting oracle
+    underneath) — the Section 9 set-up. *)
+
+val vulnerability :
+  ?seed:int64 ->
+  ?adversary:Adversary.t ->
+  ?mistake_until:Types.time ->
+  mode:[ `Flawed_cm | `Our_reduction ] ->
+  unit ->
+  Engine.t * (unit -> bool)
+(** The Section 3 scenario on two processes: the subject (p0, which holds
+    the edge's request token) falsely suspects the watcher (p1, which holds
+    the fork) until [mistake_until], enters its critical section on the
+    virtual fork during that prefix, and — as the [8] construction's
+    subject — never exits. Returns the engine and the extracted
+    "suspected?" output at the watcher. The flawed construction flips it
+    forever; [`Our_reduction] converges. *)

@@ -1,0 +1,1 @@
+lib/ctm/client.ml: Component Context Dining Dsim Store Types

@@ -1,0 +1,1 @@
+lib/ctm/client.mli: Dining Dsim

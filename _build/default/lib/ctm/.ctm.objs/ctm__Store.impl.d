@@ -1,0 +1,1 @@
+lib/ctm/store.ml: Component Context Dsim Msg

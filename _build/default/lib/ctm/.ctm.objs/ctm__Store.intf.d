@@ -1,0 +1,1 @@
+lib/ctm/store.mli: Dsim

@@ -1,0 +1,32 @@
+(** A versioned shared object served by one process — the substrate for the
+    obstruction-free transactions of Sections 2–3.
+
+    The store holds a single integer value with a version counter. Clients
+    read [(version, value)], compute, and attempt a compare-and-swap
+    conditioned on the version. A transaction that runs without interleaved
+    committers always succeeds (obstruction freedom); overlapping
+    transactions abort each other — the livelock that contention managers
+    exist to break. *)
+
+val tag : string
+(** Routing tag of the store component (["ctm-store"]). *)
+
+val client_tag : string
+(** Routing tag store replies are sent to (["ctm-client"]). *)
+
+type stats = {
+  mutable reads : int;
+  mutable cas_ok : int;
+  mutable cas_fail : int;
+}
+
+val component : Dsim.Context.t -> unit -> Dsim.Component.t * stats
+(** The store process's component. *)
+
+(** Client-side wire messages (exposed so the client module and tests can
+    speak the protocol). *)
+type Dsim.Msg.t +=
+  | Read_req
+  | Read_resp of { version : int; value : int }
+  | Cas_req of { expect : int; value : int }
+  | Cas_resp of { ok : bool; version : int }

@@ -1,0 +1,1 @@
+lib/detectors/ground_truth.ml: Component Context Dsim List Oracle Trace Types

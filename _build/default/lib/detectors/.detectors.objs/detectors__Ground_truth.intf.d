@@ -1,0 +1,1 @@
+lib/detectors/ground_truth.mli: Dsim Oracle

@@ -1,0 +1,1 @@
+lib/detectors/heartbeat.ml: Component Context Dsim List Msg Oracle Trace Types

@@ -1,0 +1,1 @@
+lib/detectors/heartbeat.mli: Dsim Oracle

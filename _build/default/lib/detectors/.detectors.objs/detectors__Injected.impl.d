@@ -1,0 +1,1 @@
+lib/detectors/injected.ml: Component Context Dsim List Oracle Printf Trace Types

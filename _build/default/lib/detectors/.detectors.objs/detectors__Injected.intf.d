@@ -1,0 +1,1 @@
+lib/detectors/injected.mli: Dsim Oracle

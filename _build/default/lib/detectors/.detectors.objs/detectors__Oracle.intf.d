@@ -1,0 +1,1 @@
+lib/detectors/oracle.mli: Dsim

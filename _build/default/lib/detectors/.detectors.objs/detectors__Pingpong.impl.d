@@ -1,0 +1,1 @@
+lib/detectors/pingpong.ml: Component Context Dsim List Msg Oracle Trace Types

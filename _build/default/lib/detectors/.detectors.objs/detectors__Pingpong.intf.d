@@ -1,0 +1,1 @@
+lib/detectors/pingpong.mli: Dsim Oracle

@@ -1,0 +1,1 @@
+lib/detectors/properties.ml: Dsim Format Fun List Printf String Trace Types

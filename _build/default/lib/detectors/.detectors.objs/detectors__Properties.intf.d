@@ -1,0 +1,1 @@
+lib/detectors/properties.mli: Dsim Format

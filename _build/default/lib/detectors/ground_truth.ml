@@ -1,0 +1,78 @@
+open Dsim
+
+(* Both oracles poll the fault pattern from a guarded action so that
+   suspicion flips appear in the trace at the tick they become visible. *)
+
+type peer_obs = {
+  peer : Types.pid;
+  mutable dead_since : Types.time option;
+  mutable suspected : bool;
+}
+
+let make_polling (ctx : Context.t) ~detector_name ~comp_name ~peers ~should_suspect =
+  let self = ctx.Context.self in
+  let states =
+    List.map
+      (fun peer -> { peer; dead_since = None; suspected = false })
+      (List.filter (fun q -> q <> self) peers)
+  in
+  let observe st =
+    if st.dead_since = None && not (ctx.Context.is_live st.peer) then
+      st.dead_since <- Some (ctx.Context.now ())
+  in
+  let pending st =
+    observe st;
+    (not st.suspected) && should_suspect ~now:(ctx.Context.now ()) ~dead_since:st.dead_since
+  in
+  let poll =
+    Component.action "oracle-poll"
+      ~guard:(fun () -> List.exists pending states)
+      ~body:(fun () ->
+        List.iter
+          (fun st ->
+            if pending st then begin
+              st.suspected <- true;
+              ctx.Context.log
+                (Trace.Suspect { detector = detector_name; owner = self; target = st.peer })
+            end)
+          states)
+  in
+  let comp = Component.make ~name:comp_name ~actions:[ poll ] () in
+  let suspects () =
+    (* Queries reflect the oracle's latest observation even between steps. *)
+    List.fold_left
+      (fun acc st ->
+        if
+          st.suspected
+          ||
+          (observe st;
+           should_suspect ~now:(ctx.Context.now ()) ~dead_since:st.dead_since)
+        then Types.Pidset.add st.peer acc
+        else acc)
+      Types.Pidset.empty states
+  in
+  (comp, Oracle.make ~name:detector_name ~owner:self ~suspects)
+
+let perfect ctx ?(detector_name = "perfect") ~peers () =
+  make_polling ctx ~detector_name
+    ~comp_name:(detector_name ^ "-mod")
+    ~peers
+    ~should_suspect:(fun ~now:_ ~dead_since -> dead_since <> None)
+
+let trusting ctx ?(detector_name = "trusting") ?(detection_delay = 20) ~peers () =
+  make_polling ctx ~detector_name
+    ~comp_name:(detector_name ^ "-mod")
+    ~peers
+    ~should_suspect:(fun ~now ~dead_since ->
+      match dead_since with Some t -> now - t >= detection_delay | None -> false)
+
+let strong ctx ?(detector_name = "strong") ?anchor ~peers () =
+  let anchor =
+    match anchor with
+    | Some a -> a
+    | None -> List.fold_left min max_int peers
+  in
+  make_polling ctx ~detector_name
+    ~comp_name:(detector_name ^ "-mod")
+    ~peers:(List.filter (fun q -> q <> anchor) peers)
+    ~should_suspect:(fun ~now:_ ~dead_since -> dead_since <> None)

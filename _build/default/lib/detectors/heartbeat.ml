@@ -1,0 +1,72 @@
+open Dsim
+
+type config = {
+  period : int;
+  initial_timeout : int;
+  adaptive : bool;
+}
+
+let default_config = { period = 4; initial_timeout = 24; adaptive = true }
+
+type Msg.t += Hb_msg
+
+type peer_state = {
+  peer : Types.pid;
+  mutable last_heard : Types.time;
+  mutable timeout : int;
+  mutable suspected : bool;
+}
+
+let component (ctx : Context.t) ?(detector_name = "evp") ?(tag = "fd")
+    ?(config = default_config) ~peers () =
+  let self = ctx.Context.self in
+  let states =
+    List.map
+      (fun peer -> { peer; last_heard = 0; timeout = config.initial_timeout; suspected = false })
+      (List.filter (fun q -> q <> self) peers)
+  in
+  let next_send = ref 0 in
+  let send_heartbeats =
+    Component.action "hb-send"
+      ~guard:(fun () -> ctx.Context.now () >= !next_send)
+      ~body:(fun () ->
+        next_send := ctx.Context.now () + config.period;
+        List.iter (fun st -> ctx.Context.send ~dst:st.peer ~tag Hb_msg) states)
+  in
+  let expired st = (not st.suspected) && ctx.Context.now () - st.last_heard > st.timeout in
+  let check_timeouts =
+    Component.action "hb-check"
+      ~guard:(fun () -> List.exists expired states)
+      ~body:(fun () ->
+        List.iter
+          (fun st ->
+            if expired st then begin
+              st.suspected <- true;
+              ctx.Context.log
+                (Trace.Suspect { detector = detector_name; owner = self; target = st.peer })
+            end)
+          states)
+  in
+  let on_receive ~src = function
+    | Hb_msg -> (
+        match List.find_opt (fun st -> st.peer = src) states with
+        | None -> ()
+        | Some st ->
+            st.last_heard <- ctx.Context.now ();
+            if st.suspected then begin
+              st.suspected <- false;
+              if config.adaptive then st.timeout <- st.timeout * 2;
+              ctx.Context.log
+                (Trace.Trust { detector = detector_name; owner = self; target = st.peer })
+            end)
+    | _ -> ()
+  in
+  let comp =
+    Component.make ~name:tag ~actions:[ send_heartbeats; check_timeouts ] ~on_receive ()
+  in
+  let suspects () =
+    List.fold_left
+      (fun acc st -> if st.suspected then Types.Pidset.add st.peer acc else acc)
+      Types.Pidset.empty states
+  in
+  (comp, Oracle.make ~name:detector_name ~owner:self ~suspects)

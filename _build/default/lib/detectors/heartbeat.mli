@@ -1,0 +1,35 @@
+(** Heartbeat implementation of the eventually perfect failure detector ◇P.
+
+    Each process periodically broadcasts heartbeats; each monitor keeps a
+    per-peer adaptive timeout. A silent peer is suspected when its timeout
+    expires; a heartbeat from a suspected peer revokes the suspicion and
+    enlarges that peer's timeout. Under any adversary whose delays and
+    scheduling become bounded after some (unknown) global stabilisation
+    time — the classic partial-synchrony model — the timeouts eventually
+    exceed the true bound, after which the module satisfies both strong
+    completeness and eventual strong accuracy, i.e. ◇P.
+
+    With [adaptive:false] the timeout is never enlarged: if the fixed value
+    lies below the post-GST bound the detector suspects correct processes
+    forever (it is *not* ◇P) — kept as an ablation. *)
+
+type config = {
+  period : int;  (** Ticks between heartbeat broadcasts. *)
+  initial_timeout : int;
+  adaptive : bool;  (** Double the timeout on each detected mistake. *)
+}
+
+val default_config : config
+
+val component :
+  Dsim.Context.t ->
+  ?detector_name:string ->
+  ?tag:string ->
+  ?config:config ->
+  peers:Dsim.Types.pid list ->
+  unit ->
+  Dsim.Component.t * Oracle.t
+(** Build the local ◇P module of process [ctx.self] monitoring [peers].
+    All processes of one detector deployment must share the same [tag]
+    (default ["fd"]), which routes heartbeat messages. Suspicion flips are
+    logged to the trace under [detector_name] (default ["evp"]). *)

@@ -1,0 +1,39 @@
+open Dsim
+
+type window = {
+  from_ : Types.time;
+  until : Types.time;
+  target : Types.pid;
+}
+
+let wrap (ctx : Context.t) ~base ~windows =
+  let name = base.Oracle.name ^ "+inj" in
+  let self = ctx.Context.self in
+  let effective () =
+    let now = ctx.Context.now () in
+    List.fold_left
+      (fun acc w ->
+        if now >= w.from_ && now < w.until then Types.Pidset.add w.target acc else acc)
+      (base.Oracle.suspects ()) windows
+  in
+  let last = ref Types.Pidset.empty in
+  let log_flips =
+    Component.action "inj-log"
+      ~guard:(fun () -> not (Types.Pidset.equal (effective ()) !last))
+      ~body:(fun () ->
+        let cur = effective () in
+        Types.Pidset.iter
+          (fun q ->
+            if not (Types.Pidset.mem q !last) then
+              ctx.Context.log (Trace.Suspect { detector = name; owner = self; target = q }))
+          cur;
+        Types.Pidset.iter
+          (fun q ->
+            if not (Types.Pidset.mem q cur) then
+              ctx.Context.log (Trace.Trust { detector = name; owner = self; target = q }))
+          !last;
+        last := cur)
+  in
+  let comp = Component.make ~name:(Printf.sprintf "%s-inj-p%d" base.Oracle.name self)
+      ~actions:[ log_flips ] () in
+  (comp, Oracle.make ~name ~owner:self ~suspects:effective)

@@ -1,0 +1,25 @@
+(** Adversarial mistake injection.
+
+    ◇P is allowed to wrongfully suspect correct processes finitely many
+    times per run. This wrapper forces such mistakes at chosen times: during
+    each window [(from_, until, target)] the wrapped oracle additionally
+    suspects [target]. As long as the window list is finite the wrapped
+    oracle still satisfies the ◇P specification whenever the base oracle
+    does — but the injected prefix lets experiments drive worst-case oracle
+    behaviour (e.g. the Section 3 vulnerability scenario, where an early
+    mistake makes a correct diner eat through a suspicion override). *)
+
+type window = {
+  from_ : Dsim.Types.time;
+  until : Dsim.Types.time;
+  target : Dsim.Types.pid;
+}
+
+val wrap :
+  Dsim.Context.t ->
+  base:Oracle.t ->
+  windows:window list ->
+  Dsim.Component.t * Oracle.t
+(** The returned component only logs effective suspicion flips (under the
+    name [base.name ^ "+inj"]); the returned oracle is what protocols should
+    query. *)

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  owner : Dsim.Types.pid;
+  suspects : unit -> Dsim.Types.Pidset.t;
+  suspected : Dsim.Types.pid -> bool;
+}
+
+let make ~name ~owner ~suspects =
+  { name; owner; suspects; suspected = (fun q -> Dsim.Types.Pidset.mem q (suspects ())) }

@@ -1,0 +1,20 @@
+(** Failure-detector query interface.
+
+    A failure detector is a distributed oracle: each process owns a local
+    module that can be queried for a set of processes currently suspected of
+    having crashed (Chandra & Toueg). Protocols receive a value of this type
+    and only ever *query* it — the detector classes differ in the guarantees
+    on the answers, which are checked post-hoc by {!Properties}. *)
+
+type t = {
+  name : string;  (** Detector name used in trace events. *)
+  owner : Dsim.Types.pid;
+  suspects : unit -> Dsim.Types.Pidset.t;
+  suspected : Dsim.Types.pid -> bool;
+}
+
+val make :
+  name:string ->
+  owner:Dsim.Types.pid ->
+  suspects:(unit -> Dsim.Types.Pidset.t) ->
+  t

@@ -1,0 +1,34 @@
+(** Query/response ("ping-pong") implementation of ◇P.
+
+    An alternative to {!Heartbeat} with a different communication pattern:
+    each monitor polls its peers with explicit queries and suspects a peer
+    whose response to the {e current} query round is overdue; a late
+    response revokes the suspicion and enlarges that peer's timeout.
+    Compared to heartbeats, traffic is demand-driven (a process that
+    monitors nobody sends nothing) and round-trip-based, so timeouts adapt
+    to two-way delays.
+
+    Under eventually-bounded delays and scheduling it satisfies strong
+    completeness and eventual strong accuracy, like {!Heartbeat} — the
+    differential tests in the suite check that both implementations
+    converge to identical suspicion sets. Two interchangeable oracles also
+    make the black-box claim of the reduction concrete: the dining layer
+    and the extraction behave identically over either. *)
+
+type config = {
+  period : int;  (** Ticks between query rounds. *)
+  initial_timeout : int;
+  adaptive : bool;
+}
+
+val default_config : config
+
+val component :
+  Dsim.Context.t ->
+  ?detector_name:string ->
+  ?tag:string ->
+  ?config:config ->
+  peers:Dsim.Types.pid list ->
+  unit ->
+  Dsim.Component.t * Oracle.t
+(** All processes of one deployment must share [tag] (default ["fdpp"]). *)

@@ -1,0 +1,1 @@
+lib/dining/clients.ml: Component Context Dsim Spec Types

@@ -1,0 +1,1 @@
+lib/dining/clients.mli: Dsim Spec

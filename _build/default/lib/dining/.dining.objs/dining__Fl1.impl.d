@@ -1,0 +1,1 @@
+lib/dining/fl1.ml: Component Context Dsim Graphs List Msg Spec Types

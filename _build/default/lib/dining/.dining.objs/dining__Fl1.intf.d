@@ -1,0 +1,1 @@
+lib/dining/fl1.mli: Dsim Graphs Spec

@@ -1,0 +1,1 @@
+lib/dining/ftme.ml: Component Context Dsim Hashtbl List Msg Printf Spec String Trace Types Vec

@@ -1,0 +1,1 @@
+lib/dining/ftme.mli: Dsim Spec

@@ -1,0 +1,1 @@
+lib/dining/hygienic.ml: Dsim Wf_ewx

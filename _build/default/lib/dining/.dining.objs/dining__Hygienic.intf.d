@@ -1,0 +1,1 @@
+lib/dining/hygienic.mli: Dsim Graphs Spec Wf_ewx

@@ -1,0 +1,1 @@
+lib/dining/kfair.ml: Component Context Dsim Graphs List Msg Printf Spec String Types

@@ -1,0 +1,1 @@
+lib/dining/kfair.mli: Dsim Graphs Spec

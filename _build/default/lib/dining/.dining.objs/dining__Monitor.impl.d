@@ -1,0 +1,1 @@
+lib/dining/monitor.ml: Array Detectors Dsim Fun Graphs List Printf Trace Types

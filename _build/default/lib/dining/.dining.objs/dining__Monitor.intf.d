@@ -1,0 +1,1 @@
+lib/dining/monitor.mli: Detectors Dsim Graphs

@@ -1,0 +1,1 @@
+lib/dining/spec.ml: Context Dsim Printf Trace Types

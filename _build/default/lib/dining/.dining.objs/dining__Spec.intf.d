@@ -1,0 +1,1 @@
+lib/dining/spec.mli: Dsim

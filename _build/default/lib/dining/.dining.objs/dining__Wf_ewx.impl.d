@@ -1,0 +1,1 @@
+lib/dining/wf_ewx.ml: Component Context Dsim Graphs List Msg Spec Types

@@ -1,0 +1,1 @@
+lib/dining/wf_ewx.mli: Dsim Graphs Spec

@@ -1,0 +1,46 @@
+open Dsim
+
+let phase_is h p = Types.phase_equal (h.Spec.phase ()) p
+
+let build (ctx : Context.t) ~handle ~eat_ticks ~think_ticks ~limit =
+  let completed = ref 0 in
+  let became_eating = ref (-1) in
+  let became_thinking = ref 0 in
+  handle.Spec.set_on_transition (fun _ to_ ->
+      match to_ with
+      | Types.Eating -> became_eating := ctx.Context.now ()
+      | Types.Thinking -> became_thinking := ctx.Context.now ()
+      | Types.Exiting -> incr completed
+      | Types.Hungry -> ());
+  let may_start () = match limit with None -> true | Some k -> !completed < k in
+  let get_hungry =
+    Component.action "client-hungry"
+      ~guard:(fun () ->
+        may_start ()
+        && phase_is handle Types.Thinking
+        && ctx.Context.now () - !became_thinking >= think_ticks)
+      ~body:(fun () -> handle.Spec.hungry ())
+  in
+  let stop_eating =
+    Component.action "client-exit"
+      ~guard:(fun () ->
+        phase_is handle Types.Eating && ctx.Context.now () - !became_eating >= eat_ticks)
+      ~body:(fun () -> handle.Spec.exit_eating ())
+  in
+  ( Component.make ~name:("client:" ^ handle.Spec.instance)
+      ~actions:[ get_hungry; stop_eating ] (),
+    fun () -> !completed )
+
+let greedy ctx ~handle ?(eat_ticks = 3) ?(think_ticks = 2) () =
+  fst (build ctx ~handle ~eat_ticks ~think_ticks ~limit:None)
+
+let n_sessions ctx ~handle ~sessions ?(eat_ticks = 3) ?(think_ticks = 2) () =
+  build ctx ~handle ~eat_ticks ~think_ticks ~limit:(Some sessions)
+
+let glutton ctx ~handle ?(start_after = 0) () =
+  let get_hungry =
+    Component.action "client-glutton"
+      ~guard:(fun () -> ctx.Context.now () >= start_after && phase_is handle Types.Thinking)
+      ~body:(fun () -> handle.Spec.hungry ())
+  in
+  Component.make ~name:("client:" ^ handle.Spec.instance) ~actions:[ get_hungry ] ()

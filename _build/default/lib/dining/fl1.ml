@@ -1,0 +1,112 @@
+open Dsim
+
+type Msg.t += Fl_fork | Fl_request of int
+
+type edge_state = {
+  peer : Types.pid;
+  mutable has_fork : bool;
+  mutable peer_req : int option;
+  mutable next_ask : Types.time;
+}
+
+let component (ctx : Context.t) ~instance ~graph ~suspects () =
+  let self = ctx.Context.self in
+  let cell, handle = Spec.Cell.handle (Spec.Cell.create ctx ~instance) in
+  let phase () = Spec.Cell.phase cell in
+  let edges =
+    Types.Pidset.elements (Graphs.Conflict_graph.neighbors graph self)
+    |> List.map (fun peer ->
+           { peer; has_fork = self > peer; peer_req = None; next_ask = 0 })
+  in
+  let suspected q = Types.Pidset.mem q (suspects ()) in
+  let eating () = Types.phase_equal (phase ()) Types.Eating in
+  let hungry () = Types.phase_equal (phase ()) Types.Hungry in
+  let clock = ref 0 in
+  let session = ref None in
+  let stamp_session =
+    Component.action "fl-stamp"
+      ~guard:(fun () -> hungry () && !session = None)
+      ~body:(fun () ->
+        incr clock;
+        session := Some !clock)
+  in
+  let needs_request (e : edge_state) =
+    (not e.has_fork) && ctx.Context.now () >= e.next_ask
+  in
+  let request_forks =
+    Component.action "fl-request"
+      ~guard:(fun () -> hungry () && !session <> None && List.exists needs_request edges)
+      ~body:(fun () ->
+        match !session with
+        | None -> ()
+        | Some ts ->
+            List.iter
+              (fun e ->
+                if needs_request e then begin
+                  e.next_ask <- ctx.Context.now () + 32;
+                  ctx.Context.send ~dst:e.peer ~tag:instance (Fl_request ts)
+                end)
+              edges)
+  in
+  (* Doomed: waiting on a fork whose holder we currently suspect. A doomed
+     diner cannot eat soon, so it must not make anyone wait on it. *)
+  let doomed () =
+    hungry () && List.exists (fun (e : edge_state) -> (not e.has_fork) && suspected e.peer) edges
+  in
+  let i_have_priority_over req_ts peer =
+    match !session with
+    | Some my_ts when hungry () && not (doomed ()) -> (my_ts, self) < (req_ts, peer)
+    | Some _ | None -> false
+  in
+  let owed (e : edge_state) =
+    e.has_fork && (not (eating ()))
+    && match e.peer_req with Some ts -> not (i_have_priority_over ts e.peer) | None -> false
+  in
+  let yield_forks =
+    Component.action "fl-yield"
+      ~guard:(fun () -> List.exists owed edges)
+      ~body:(fun () ->
+        List.iter
+          (fun e ->
+            if owed e then begin
+              e.has_fork <- false;
+              e.peer_req <- None;
+              e.next_ask <- 0;
+              ctx.Context.send ~dst:e.peer ~tag:instance Fl_fork
+            end)
+          edges)
+  in
+  (* Perpetual exclusion: eating requires every real fork — suspicion never
+     substitutes for one. *)
+  let eat =
+    Component.action "fl-eat"
+      ~guard:(fun () ->
+        hungry () && !session <> None
+        && List.for_all (fun (e : edge_state) -> e.has_fork) edges)
+      ~body:(fun () -> Spec.Cell.set cell Types.Eating)
+  in
+  let finish_exit =
+    Component.action "fl-exit"
+      ~guard:(fun () -> Types.phase_equal (phase ()) Types.Exiting)
+      ~body:(fun () ->
+        session := None;
+        List.iter (fun (e : edge_state) -> e.next_ask <- 0) edges;
+        Spec.Cell.set cell Types.Thinking)
+  in
+  let on_receive ~src msg =
+    match List.find_opt (fun (e : edge_state) -> e.peer = src) edges with
+    | None -> ()
+    | Some e -> (
+        match msg with
+        | Fl_request ts ->
+            clock := max !clock ts;
+            e.peer_req <- Some ts
+        | Fl_fork -> e.has_fork <- true
+        | _ -> ())
+  in
+  let comp =
+    Component.make ~name:instance
+      ~actions:[ stamp_session; request_forks; yield_forks; eat; finish_exit ]
+      ~on_receive ()
+  in
+  (comp, handle)

@@ -1,0 +1,41 @@
+(** Fault-Tolerant Mutual Exclusion: wait-free dining under *perpetual*
+    weak exclusion, built on a trusting failure detector.
+
+    This is the [4]-style substrate that Section 9 of the paper feeds into
+    the reduction to extract the trusting oracle T. The conflict graph is a
+    clique (mutual exclusion is dining on a clique). The design is
+    coordinator-based:
+
+    - the lowest live process acts as server, granting the critical section
+      to one requester at a time (FIFO);
+    - when the server crashes, the next-lowest live process takes over, but
+      only after a {e recovery round}: it announces its epoch (= its pid;
+      successor pids are strictly increasing since crashes are permanent)
+      and waits until every process it still trusts has replied with its
+      status, and any live critical-section holder it learned about has
+      released. Trusting accuracy makes this safe: a suspected process has
+      really crashed, so skipping it cannot skip a *live* CS holder —
+      and a crashed holder cannot violate weak exclusion, which only
+      constrains live processes;
+    - clients resend their request whenever their believed server (lowest
+      trusted pid) changes, and ignore stale grants from superseded epochs.
+
+    Guarantees, checked on every run by {!Monitor}: perpetual weak
+    exclusion (zero simultaneous live eaters, from time zero), and
+    wait-freedom. Liveness relies on T's strong completeness; safety relies
+    only on trusting accuracy — with a merely eventually-accurate oracle in
+    its place, safety breaks, which is the ablation the benches show
+    (P is insufficient for wait-free perpetual exclusion [11]). *)
+
+val component :
+  Dsim.Context.t ->
+  instance:string ->
+  members:Dsim.Types.pid list ->
+  suspects:(unit -> Dsim.Types.Pidset.t) ->
+  unit ->
+  Dsim.Component.t * Spec.handle * (unit -> string)
+(** One diner of a mutual-exclusion instance among [members] (each member
+    registers one component; the lowest member id is the initial server). [suspects] must
+    come from a trusting detector for the perpetual-exclusion guarantee to
+    hold (pass a ◇P module instead to reproduce the safety-violation
+    ablation). *)

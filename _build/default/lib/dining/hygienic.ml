@@ -1,0 +1,5 @@
+let component ctx ~instance ~graph () =
+  Wf_ewx.component ctx ~instance ~graph
+    ~suspects:(fun () -> Dsim.Types.Pidset.empty)
+    ~config:{ Wf_ewx.suspicion_override = false }
+    ()

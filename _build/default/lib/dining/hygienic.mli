@@ -1,0 +1,15 @@
+(** Crash-intolerant dining baseline.
+
+    Exactly {!Wf_ewx} with the suspicion override disabled and a
+    never-suspecting oracle: fork-based dining with timestamped priorities,
+    perpetually exclusive and starvation-free among live processes, but a
+    single crash of a fork holder starves its hungry neighbors forever.
+    Benches use it as the "what the paper's problem statement rules out"
+    baseline. *)
+
+val component :
+  Dsim.Context.t ->
+  instance:string ->
+  graph:Graphs.Conflict_graph.t ->
+  unit ->
+  Dsim.Component.t * Spec.handle * Wf_ewx.debug

@@ -1,0 +1,124 @@
+open Dsim
+
+type Msg.t += Kf_req of int | Kf_grant of int
+
+(* Per-neighbor request bookkeeping. [latest_req] is the maximum timestamp
+   ever received from that neighbor — monotone on purpose: session
+   timestamps strictly increase at the requester, but non-FIFO channels can
+   deliver a stale (smaller) request *after* the current one, and treating
+   the stale value as the pending request would make us answer with a grant
+   the requester drops as outdated, losing its real request forever (a
+   whole-graph deadlock observed in sweeps). [granted_upto] is the largest
+   timestamp we have answered. *)
+type neighbor = {
+  peer : Types.pid;
+  mutable granted : bool; (* their grant for my current request *)
+  mutable latest_req : int option;
+  mutable granted_upto : int;
+}
+
+let component (ctx : Context.t) ~instance ~graph ~suspects () =
+  let self = ctx.Context.self in
+  let cell, handle = Spec.Cell.handle (Spec.Cell.create ctx ~instance) in
+  let phase () = Spec.Cell.phase cell in
+  let neighbors =
+    Types.Pidset.elements (Graphs.Conflict_graph.neighbors graph self)
+    |> List.map (fun peer ->
+           { peer; granted = false; latest_req = None; granted_upto = min_int })
+  in
+  let clock = ref 0 in
+  let req_ts = ref (-1) in
+  let sent = ref false in
+  (* Priority: lexicographic (timestamp, pid) — a total order, so two
+     conflicting requests never defer to each other. *)
+  let my_priority_over ts peer =
+    !sent
+    && Types.phase_equal (phase ()) Types.Hungry
+    && (!req_ts, self) < (ts, peer)
+  in
+  let request =
+    Component.action "kf-request"
+      ~guard:(fun () -> Types.phase_equal (phase ()) Types.Hungry && not !sent)
+      ~body:(fun () ->
+        incr clock;
+        req_ts := !clock;
+        sent := true;
+        List.iter
+          (fun nb ->
+            nb.granted <- false;
+            ctx.Context.send ~dst:nb.peer ~tag:instance (Kf_req !req_ts))
+          neighbors)
+  in
+  (* Answer pending requests whenever we neither hold the critical section
+     nor outrank the requester. Running this as a guarded action (rather
+     than inside the receive handler and the exit path) means the decision
+     is re-evaluated as our own state changes — a request deferred during
+     our meal is granted right after we return to thinking. *)
+  let pending nb =
+    match nb.latest_req with
+    | Some ts ->
+        ts > nb.granted_upto
+        && (not (Types.phase_equal (phase ()) Types.Eating))
+        && (not (Types.phase_equal (phase ()) Types.Exiting))
+        && not (my_priority_over ts nb.peer)
+    | None -> false
+  in
+  let serve =
+    Component.action "kf-serve"
+      ~guard:(fun () -> List.exists pending neighbors)
+      ~body:(fun () ->
+        List.iter
+          (fun nb ->
+            if pending nb then
+              match nb.latest_req with
+              | Some ts ->
+                  nb.granted_upto <- ts;
+                  ctx.Context.send ~dst:nb.peer ~tag:instance (Kf_grant ts)
+              | None -> ())
+          neighbors)
+  in
+  let eat =
+    Component.action "kf-eat"
+      ~guard:(fun () ->
+        Types.phase_equal (phase ()) Types.Hungry
+        && !sent
+        && List.for_all
+             (fun nb -> nb.granted || Types.Pidset.mem nb.peer (suspects ()))
+             neighbors)
+      ~body:(fun () -> Spec.Cell.set cell Types.Eating)
+  in
+  let finish_exit =
+    Component.action "kf-exit"
+      ~guard:(fun () -> Types.phase_equal (phase ()) Types.Exiting)
+      ~body:(fun () ->
+        sent := false;
+        Spec.Cell.set cell Types.Thinking)
+  in
+  let on_receive ~src msg =
+    match List.find_opt (fun nb -> nb.peer = src) neighbors with
+    | None -> ()
+    | Some nb -> (
+        match msg with
+        | Kf_req ts ->
+            clock := max !clock ts + 1;
+            nb.latest_req <-
+              (match nb.latest_req with Some old -> Some (max old ts) | None -> Some ts)
+        | Kf_grant ts ->
+            (* Grants for superseded requests are stale; drop them. *)
+            if !sent && ts = !req_ts then nb.granted <- true
+        | _ -> ())
+  in
+  let comp =
+    Component.make ~name:instance ~actions:[ request; serve; eat; finish_exit ] ~on_receive ()
+  in
+  let debug () =
+    Printf.sprintf "req_ts=%d sent=%b clock=%d [%s]" !req_ts !sent !clock
+      (String.concat " "
+         (List.map
+            (fun nb ->
+              Printf.sprintf "%d:g=%b,req=%s,upto=%d" nb.peer nb.granted
+                (match nb.latest_req with Some t -> string_of_int t | None -> "-")
+                nb.granted_upto)
+            neighbors))
+  in
+  (comp, handle, debug)

@@ -1,0 +1,22 @@
+(** Eventually fair wait-free dining under ◇WX ([13]-style service).
+
+    Ricart–Agrawala-style timestamped requests adapted to arbitrary conflict
+    graphs, with the same ◇P suspicion override as {!Wf_ewx}: a hungry diner
+    sends a Lamport-timestamped request to every neighbor and eats once each
+    neighbor has granted it or is currently suspected; a neighbor defers its
+    grant while eating or while hungry with an older request.
+
+    Properties (checked by tests/benches):
+    - wait-freedom and ◇WX, as for {!Wf_ewx};
+    - {e eventual k-fairness}: after ◇P converges and in-flight requests
+      drain, a hungry diner can be overtaken by each neighbor at most a
+      bounded number of times (measured k <= 2, matching the eventual
+      2-fairness the paper obtains by composing its reduction with [13]). *)
+
+val component :
+  Dsim.Context.t ->
+  instance:string ->
+  graph:Graphs.Conflict_graph.t ->
+  suspects:(unit -> Dsim.Types.Pidset.t) ->
+  unit ->
+  Dsim.Component.t * Spec.handle * (unit -> string)

@@ -1,0 +1,37 @@
+(** Dining-service interface shared by all scheduling algorithms.
+
+    A dining solution schedules diner transitions hungry -> eating. Clients
+    drive the thinking -> hungry and eating -> exiting transitions through a
+    {!handle}; the algorithm drives hungry -> eating (when it grants the
+    critical section) and exiting -> thinking (when relinquishment
+    completes, which the spec requires to take finite time). *)
+
+type handle = {
+  instance : string;
+  self : Dsim.Types.pid;
+  phase : unit -> Dsim.Types.phase;
+  hungry : unit -> unit;
+      (** Request the critical section. Only legal while [Thinking]. *)
+  exit_eating : unit -> unit;
+      (** Relinquish the critical section. Only legal while [Eating]. *)
+  set_on_transition : (Dsim.Types.phase -> Dsim.Types.phase -> unit) -> unit;
+      (** Register a callback fired after every phase transition. *)
+}
+
+(** Mutable diner-phase cell used by algorithm implementations: transitions
+    are logged to the trace under the instance name and forwarded to the
+    client callback. *)
+module Cell : sig
+  type t
+
+  val create : Dsim.Context.t -> instance:string -> t
+  val phase : t -> Dsim.Types.phase
+
+  val set : t -> Dsim.Types.phase -> unit
+  (** Unchecked transition (algorithms maintain their own discipline). *)
+
+  val handle : t -> t * handle
+  (** The cell together with the client-facing handle; [hungry] and
+      [exit_eating] check phase legality and raise [Invalid_argument] on
+      misuse. *)
+end

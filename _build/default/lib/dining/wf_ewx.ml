@@ -1,0 +1,147 @@
+open Dsim
+
+type config = { suspicion_override : bool }
+
+let default_config = { suspicion_override = true }
+
+type Msg.t += Fork | Request of int (* requester's session timestamp *)
+
+type edge_state = {
+  peer : Types.pid;
+  mutable has_fork : bool;
+  mutable peer_req : int option; (* pending request timestamp from peer *)
+  mutable next_ask : Types.time; (* earliest time of the next (re-)request *)
+}
+
+type debug = {
+  has_fork : Types.pid -> bool;
+  peer_requesting : Types.pid -> bool;
+  session_ts : unit -> int option;
+  eating_virtually : unit -> bool;
+}
+
+let component (ctx : Context.t) ~instance ~graph ~suspects ?(config = default_config) () =
+  let self = ctx.Context.self in
+  let cell, handle = Spec.Cell.handle (Spec.Cell.create ctx ~instance) in
+  let phase () = Spec.Cell.phase cell in
+  let edges =
+    Types.Pidset.elements (Graphs.Conflict_graph.neighbors graph self)
+    |> List.map (fun peer ->
+           (* The fork starts at the higher-id endpoint. *)
+           { peer; has_fork = self > peer; peer_req = None; next_ask = 0 })
+  in
+  let suspected q = config.suspicion_override && Types.Pidset.mem q (suspects ()) in
+  let eating () = Types.phase_equal (phase ()) Types.Eating in
+  let hungry () = Types.phase_equal (phase ()) Types.Hungry in
+  (* Lamport clock and the timestamp of the current hungry session. Smaller
+     (timestamp, pid) = higher priority; timestamps grow along message
+     chains, so sessions that keep losing get ever-stronger claims:
+     starvation-free among live diners, no persistent precedence state to
+     corrupt. *)
+  let clock = ref 0 in
+  let session = ref None in
+  let stamp_session =
+    Component.action "din-stamp"
+      ~guard:(fun () -> hungry () && !session = None)
+      ~body:(fun () ->
+        incr clock;
+        session := Some !clock)
+  in
+  (* Requests are retried while the fork is missing: sessions and yields
+     race on non-FIFO channels, so a request recorded at a holder can be
+     consumed by a yield whose fork is immediately won back by a third
+     party with an older claim — a one-shot request would then never reach
+     the new holder and the requester would starve. Retrying is idempotent
+     (the holder just re-records the pending timestamp). *)
+  let needs_request (e : edge_state) =
+    (not e.has_fork) && ctx.Context.now () >= e.next_ask && not (suspected e.peer)
+  in
+  let request_forks =
+    Component.action "din-request"
+      ~guard:(fun () -> hungry () && !session <> None && List.exists needs_request edges)
+      ~body:(fun () ->
+        match !session with
+        | None -> ()
+        | Some ts ->
+            List.iter
+              (fun e ->
+                if needs_request e then begin
+                  e.next_ask <- ctx.Context.now () + 32;
+                  ctx.Context.send ~dst:e.peer ~tag:instance (Request ts)
+                end)
+              edges)
+  in
+  (* Yield rule: a requested fork is surrendered unless we are eating with
+     it or we are hungry with strictly higher priority. *)
+  let i_have_priority_over req_ts peer =
+    match !session with
+    | Some my_ts when hungry () -> (my_ts, self) < (req_ts, peer)
+    | Some _ | None -> false
+  in
+  let owed (e : edge_state) =
+    e.has_fork && (not (eating ()))
+    && match e.peer_req with Some ts -> not (i_have_priority_over ts e.peer) | None -> false
+  in
+  let yield_forks =
+    Component.action "din-yield"
+      ~guard:(fun () -> List.exists owed edges)
+      ~body:(fun () ->
+        List.iter
+          (fun e ->
+            if owed e then begin
+              e.has_fork <- false;
+              e.peer_req <- None;
+              e.next_ask <- 0;
+              ctx.Context.send ~dst:e.peer ~tag:instance Fork
+            end)
+          edges)
+  in
+  let virtual_eat = ref false in
+  let eat =
+    Component.action "din-eat"
+      ~guard:(fun () ->
+        hungry () && !session <> None
+        && List.for_all (fun (e : edge_state) -> e.has_fork || suspected e.peer) edges)
+      ~body:(fun () ->
+        virtual_eat := List.exists (fun (e : edge_state) -> not e.has_fork) edges;
+        Spec.Cell.set cell Types.Eating)
+  in
+  let finish_exit =
+    Component.action "din-exit"
+      ~guard:(fun () -> Types.phase_equal (phase ()) Types.Exiting)
+      ~body:(fun () ->
+        virtual_eat := false;
+        session := None;
+        List.iter (fun (e : edge_state) -> e.next_ask <- 0) edges;
+        Spec.Cell.set cell Types.Thinking)
+  in
+  let on_receive ~src msg =
+    match List.find_opt (fun (e : edge_state) -> e.peer = src) edges with
+    | None -> ()
+    | Some e -> (
+        match msg with
+        | Request ts ->
+            clock := max !clock ts;
+            e.peer_req <- Some ts
+        | Fork -> e.has_fork <- true
+        | _ -> ())
+  in
+  let comp =
+    Component.make ~name:instance
+      ~actions:[ stamp_session; request_forks; yield_forks; eat; finish_exit ]
+      ~on_receive ()
+  in
+  let find q =
+    match List.find_opt (fun (e : edge_state) -> e.peer = q) edges with
+    | Some e -> e
+    | None -> invalid_arg "Wf_ewx.debug: not a neighbor"
+  in
+  let debug =
+    {
+      has_fork = (fun q -> (find q).has_fork);
+      peer_requesting = (fun q -> (find q).peer_req <> None);
+      session_ts = (fun () -> !session);
+      eating_virtually = (fun () -> !virtual_eat && eating ());
+    }
+  in
+  (comp, handle, debug)

@@ -1,0 +1,1 @@
+lib/dsim/adversary.ml: List Printf Prng Types

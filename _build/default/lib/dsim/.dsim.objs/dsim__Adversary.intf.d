@@ -1,0 +1,1 @@
+lib/dsim/adversary.mli: Prng Types

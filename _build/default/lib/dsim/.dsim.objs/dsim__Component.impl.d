@@ -1,0 +1,1 @@
+lib/dsim/component.ml: Array Msg Types

@@ -1,0 +1,1 @@
+lib/dsim/component.mli: Msg Types

@@ -1,0 +1,1 @@
+lib/dsim/context.ml: Msg Prng Trace Types

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Adversary Array Component Context Fun Hashtbl List Msg Option Printf Prng String Trace Types Vec

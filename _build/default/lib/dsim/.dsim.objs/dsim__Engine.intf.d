@@ -1,0 +1,1 @@
+lib/dsim/engine.mli: Adversary Component Context Msg Prng Trace Types

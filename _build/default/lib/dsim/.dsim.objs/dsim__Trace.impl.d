@@ -1,0 +1,1 @@
+lib/dsim/trace.ml: Array Buffer Format Fun List Printf String Types

@@ -1,0 +1,1 @@
+lib/dsim/types.mli: Format Map Set

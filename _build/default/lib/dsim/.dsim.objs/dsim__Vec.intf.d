@@ -1,0 +1,1 @@
+lib/dsim/vec.mli:

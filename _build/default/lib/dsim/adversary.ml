@@ -1,0 +1,64 @@
+type t = {
+  name : string;
+  delay : Prng.t -> now:Types.time -> src:Types.pid -> dst:Types.pid -> int;
+  steps : Prng.t -> now:Types.time -> Types.pid -> bool;
+  fairness_bound : int;
+}
+
+let synchronous () =
+  {
+    name = "synchronous";
+    delay = (fun _ ~now:_ ~src:_ ~dst:_ -> 1);
+    steps = (fun _ ~now:_ _ -> true);
+    fairness_bound = 1;
+  }
+
+let async_uniform ?(max_delay = 8) ?(step_prob = 0.7) ?(fairness_bound = 16) () =
+  {
+    name = Printf.sprintf "async(d<=%d,p=%.2f)" max_delay step_prob;
+    delay = (fun rng ~now:_ ~src:_ ~dst:_ -> Prng.int_in rng ~lo:1 ~hi:max_delay);
+    steps = (fun rng ~now:_ _ -> Prng.chance rng ~p:step_prob);
+    fairness_bound;
+  }
+
+let partial_sync ?(gst = 500) ?(pre_max_delay = 40) ?(delta = 4) ?(pre_step_prob = 0.5)
+    ?(fairness_bound = 32) () =
+  {
+    name = Printf.sprintf "partial-sync(gst=%d,delta=%d)" gst delta;
+    delay =
+      (fun rng ~now ~src:_ ~dst:_ ->
+        if now >= gst then Prng.int_in rng ~lo:1 ~hi:delta
+        else Prng.int_in rng ~lo:1 ~hi:pre_max_delay);
+    steps = (fun rng ~now p -> ignore p; now >= gst || Prng.chance rng ~p:pre_step_prob);
+    fairness_bound;
+  }
+
+let bursty ?(gst = 800) ?(calm = 60) ?(storm = 40) ?(storm_delay = 80) ?(delta = 4)
+    ?(fairness_bound = 32) () =
+  let in_storm now = now mod (calm + storm) >= calm in
+  {
+    name = Printf.sprintf "bursty(gst=%d,storm<=%d)" gst storm_delay;
+    delay =
+      (fun rng ~now ~src:_ ~dst:_ ->
+        if now >= gst then Prng.int_in rng ~lo:1 ~hi:delta
+        else if in_storm now then Prng.int_in rng ~lo:(storm_delay / 2) ~hi:storm_delay
+        else Prng.int_in rng ~lo:1 ~hi:3);
+    steps =
+      (fun rng ~now p ->
+        ignore p;
+        now >= gst || if in_storm now then Prng.chance rng ~p:0.25 else Prng.chance rng ~p:0.9);
+    fairness_bound;
+  }
+
+let handicap ~slow ~factor base =
+  if factor <= 0.0 || factor > 1.0 then invalid_arg "Adversary.handicap: factor in (0,1]";
+  {
+    name = Printf.sprintf "%s/handicap(%.2f)" base.name factor;
+    delay = base.delay;
+    steps =
+      (fun rng ~now p ->
+        let offered = base.steps rng ~now p in
+        if List.mem p slow then offered && Prng.chance rng ~p:factor else offered);
+    fairness_bound =
+      int_of_float (ceil (float_of_int base.fairness_bound /. factor));
+  }

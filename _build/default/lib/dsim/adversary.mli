@@ -1,0 +1,63 @@
+(** Run adversaries: message delays and step schedules.
+
+    The paper's system model is asynchronous — message delay and relative
+    process speed are unbounded but finite, channels are reliable and
+    non-FIFO, and correct processes take infinitely many steps. A finite
+    simulation can only exhibit bounded behaviours, so an adversary is a
+    *family of knobs* over those bounds; the interesting regimes are:
+
+    - {!synchronous}: lock-step, delay 1 — the friendliest schedule.
+    - {!async_uniform}: random bounded delays and random step skipping with
+      a weak-fairness backstop.
+    - {!partial_sync}: arbitrary (large, reordering) delays before an
+      unknown global stabilisation time [gst], bounded by [delta] after —
+      the classic model in which ◇P is implementable.
+    - {!bursty}: alternating calm/storm delay phases before [gst]; stresses
+      timeout adaptation. *)
+
+type t = {
+  name : string;
+  delay : Prng.t -> now:Types.time -> src:Types.pid -> dst:Types.pid -> int;
+      (** Delivery delay (>= 1 ticks) assigned when a message is sent. *)
+  steps : Prng.t -> now:Types.time -> Types.pid -> bool;
+      (** Whether this live process is offered a step this tick. The engine
+          additionally forces a step after [fairness_bound] consecutive
+          skipped ticks, so correct processes always take infinitely many
+          steps. *)
+  fairness_bound : int;
+}
+
+val synchronous : unit -> t
+
+val async_uniform : ?max_delay:int -> ?step_prob:float -> ?fairness_bound:int -> unit -> t
+
+val partial_sync :
+  ?gst:Types.time ->
+  ?pre_max_delay:int ->
+  ?delta:int ->
+  ?pre_step_prob:float ->
+  ?fairness_bound:int ->
+  unit ->
+  t
+(** Before [gst]: delays uniform in [1, pre_max_delay], steps offered with
+    probability [pre_step_prob]. From [gst] on: delays uniform in
+    [1, delta], every live process steps every tick. *)
+
+val handicap : slow:Types.pid list -> factor:float -> t -> t
+(** Derive an adversary where the listed processes are offered steps only
+    with probability [factor] of the base schedule (their weak-fairness
+    backstop is stretched by [1/factor] too, so they stay correct — just
+    arbitrarily slow, which asynchrony permits). *)
+
+val bursty :
+  ?gst:Types.time ->
+  ?calm:int ->
+  ?storm:int ->
+  ?storm_delay:int ->
+  ?delta:int ->
+  ?fairness_bound:int ->
+  unit ->
+  t
+(** Before [gst], time alternates between [calm]-tick windows (delay 1-3)
+    and [storm]-tick windows (delay up to [storm_delay]); after [gst],
+    behaves like {!partial_sync}. *)

@@ -1,0 +1,16 @@
+type action = {
+  aname : string;
+  guard : unit -> bool;
+  body : unit -> unit;
+}
+
+type t = {
+  cname : string;
+  actions : action array;
+  on_receive : src:Types.pid -> Msg.t -> unit;
+}
+
+let action aname ~guard ~body = { aname; guard; body }
+
+let make ~name ?(actions = []) ?(on_receive = fun ~src:_ _ -> ()) () =
+  { cname = name; actions = Array.of_list actions; on_receive }

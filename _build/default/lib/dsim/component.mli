@@ -1,0 +1,35 @@
+(** Guarded-command action systems.
+
+    Protocols in the paper are written as action systems ("Action W_h",
+    "Action S_p", ...): sets of atomic actions, each with a guard and a body,
+    executed under interleaving semantics with weak fairness, plus
+    message-triggered actions ("upon receive ...").
+
+    A [Component.t] is one such action system. Several components can be
+    registered on the same process — this models the paper's logical threads
+    (e.g. witness threads [p.w_0] and [p.w_1]) that share a single stream of
+    physical execution: the engine interleaves their actions within the
+    process's atomic steps, and their closures may share mutable state. *)
+
+type action = private {
+  aname : string;
+  guard : unit -> bool;
+  body : unit -> unit;
+}
+
+type t = private {
+  cname : string;  (** Routing tag; unique among the components of a process. *)
+  actions : action array;
+  on_receive : src:Types.pid -> Msg.t -> unit;
+}
+
+val action : string -> guard:(unit -> bool) -> body:(unit -> unit) -> action
+
+val make :
+  name:string ->
+  ?actions:action list ->
+  ?on_receive:(src:Types.pid -> Msg.t -> unit) ->
+  unit ->
+  t
+(** [make ~name ()] builds a component. Omitted [on_receive] ignores
+    messages; omitted [actions] means the component is purely reactive. *)

@@ -1,0 +1,257 @@
+type packet = {
+  src : Types.pid;
+  dst : Types.pid;
+  tag : string;
+  payload : Msg.t;
+}
+
+type proc = {
+  pid : Types.pid;
+  mutable alive : bool;
+  mutable crash_at : Types.time option;
+  mutable components : Component.t list; (* registration order *)
+  mutable flat_actions : (Component.t * Component.action) array;
+  mutable cursor : int; (* weak-fairness rotation over flat_actions *)
+  inbox : packet Vec.t;
+  mutable last_step : Types.time;
+}
+
+and t = {
+  n_procs : int;
+  procs : proc array;
+  adversary : Adversary.t;
+  prng : Prng.t;
+  mutable clock : Types.time;
+  mutable in_flight : packet list Types.Pidmap.t;
+      (* keyed by delivery time (an int map); buckets are built by consing *)
+  mutable flight_count : int;
+  tr : Trace.t;
+  mutable hooks : (unit -> unit) list;
+  mutable sent_total : int;
+  sent_by_tag : (string, int) Hashtbl.t;
+}
+
+let create ?(seed = 0xC0FFEEL) ~n ~adversary () =
+  if n <= 0 then invalid_arg "Engine.create: n must be positive";
+  let procs =
+    Array.init n (fun pid ->
+        {
+          pid;
+          alive = true;
+          crash_at = None;
+          components = [];
+          flat_actions = [||];
+          cursor = 0;
+          inbox = Vec.create ();
+          last_step = 0;
+        })
+  in
+  {
+    n_procs = n;
+    procs;
+    adversary;
+    prng = Prng.create seed;
+    clock = 0;
+    in_flight = Types.Pidmap.empty;
+    flight_count = 0;
+    tr = Trace.create ();
+    hooks = [];
+    sent_total = 0;
+    sent_by_tag = Hashtbl.create 32;
+  }
+
+let n t = t.n_procs
+let now t = t.clock
+let trace t = t.tr
+let rng t = t.prng
+
+let is_live t pid = t.procs.(pid).alive
+
+let crashed t =
+  Array.fold_left
+    (fun acc p -> if p.alive then acc else Types.Pidset.add p.pid acc)
+    Types.Pidset.empty t.procs
+
+let live_set t =
+  Array.fold_left
+    (fun acc p -> if p.alive then Types.Pidset.add p.pid acc else acc)
+    Types.Pidset.empty t.procs
+
+let send t ~src ~dst ~tag payload =
+  if dst < 0 || dst >= t.n_procs then invalid_arg "Engine.send: bad destination";
+  (* Reliable channels: the message is assigned a finite delay at send time.
+     If the destination crashes before delivery, the packet is discarded at
+     delivery time (a crashed process takes no further steps anyway). *)
+  let delay = max 1 (t.adversary.Adversary.delay t.prng ~now:t.clock ~src ~dst) in
+  let at = t.clock + delay in
+  let pkt = { src; dst; tag; payload } in
+  let bucket = match Types.Pidmap.find_opt at t.in_flight with Some l -> l | None -> [] in
+  t.in_flight <- Types.Pidmap.add at (pkt :: bucket) t.in_flight;
+  t.flight_count <- t.flight_count + 1;
+  t.sent_total <- t.sent_total + 1;
+  Hashtbl.replace t.sent_by_tag tag
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.sent_by_tag tag))
+
+let ctx t pid : Context.t =
+  {
+    Context.self = pid;
+    send = (fun ~dst ~tag m -> send t ~src:pid ~dst ~tag m);
+    now = (fun () -> t.clock);
+    rng = t.prng;
+    log = (fun ev -> Trace.append t.tr ~at:t.clock ev);
+    is_live = (fun q -> is_live t q);
+  }
+
+let reflatten p =
+  p.flat_actions <-
+    (List.concat_map
+       (fun (c : Component.t) -> Array.to_list c.actions |> List.map (fun a -> (c, a)))
+       p.components
+    |> Array.of_list)
+
+let register t pid comp =
+  let p = t.procs.(pid) in
+  if List.exists (fun (c : Component.t) -> String.equal c.cname comp.Component.cname) p.components
+  then invalid_arg (Printf.sprintf "Engine.register: duplicate component %s at p%d"
+                      comp.Component.cname pid);
+  p.components <- p.components @ [ comp ];
+  reflatten p
+
+let schedule_crash t pid ~at =
+  let p = t.procs.(pid) in
+  p.crash_at <-
+    (match p.crash_at with Some old -> Some (min old at) | None -> Some at)
+
+let do_crash t (p : proc) =
+  if p.alive then begin
+    p.alive <- false;
+    Vec.clear p.inbox;
+    Trace.append t.tr ~at:t.clock (Trace.Crash { pid = p.pid })
+  end
+
+let crash_now t pid = do_crash t t.procs.(pid)
+
+let in_flight t ~tag =
+  let count = ref 0 in
+  Types.Pidmap.iter
+    (fun _ pkts ->
+      List.iter (fun pkt -> if String.equal pkt.tag tag then incr count) pkts)
+    t.in_flight;
+  Array.iter
+    (fun p ->
+      Vec.iter (fun pkt -> if String.equal pkt.tag tag then incr count) p.inbox)
+    t.procs;
+  !count
+
+let in_flight_filtered t ~tag ~f =
+  let count = ref 0 in
+  let consider pkt =
+    if String.equal pkt.tag tag && f pkt.payload then incr count
+  in
+  Types.Pidmap.iter (fun _ pkts -> List.iter consider pkts) t.in_flight;
+  Array.iter (fun p -> Vec.iter consider p.inbox) t.procs;
+  !count
+
+let in_flight_total t = t.flight_count
+
+let sent_total t = t.sent_total
+
+let sent_with_tag t ~tag = Option.value ~default:0 (Hashtbl.find_opt t.sent_by_tag tag)
+
+let on_tick t f = t.hooks <- t.hooks @ [ f ]
+
+let deliver_ripe t =
+  let ripe, rest = Types.Pidmap.partition (fun at _ -> at <= t.clock) t.in_flight in
+  t.in_flight <- rest;
+  Types.Pidmap.iter
+    (fun _ pkts ->
+      (* Buckets were built by consing; restore send order within the tick
+         (order is irrelevant for correctness — channels are non-FIFO — but
+         determinism must not depend on map internals). *)
+      List.iter
+        (fun pkt ->
+          t.flight_count <- t.flight_count - 1;
+          let p = t.procs.(pkt.dst) in
+          if p.alive then Vec.add_last p.inbox pkt)
+        (List.rev pkts))
+    ripe
+
+let route_receive (p : proc) pkt =
+  match
+    List.find_opt (fun (c : Component.t) -> String.equal c.cname pkt.tag) p.components
+  with
+  | Some c -> c.on_receive ~src:pkt.src pkt.payload
+  | None -> () (* message for an unregistered layer: dropped *)
+
+(* One atomic step of process [p]: consume the pending messages (the paper's
+   atomic step receives at most one message from *each* process, so draining
+   the inbox — which holds at most a few packets per peer — is faithful and,
+   crucially, keeps consumption ahead of production: draining only one packet
+   per step would let chatty layers grow the inbox without bound, silently
+   stretching every delivery), then execute at most one enabled guarded
+   action, scanning from the rotating cursor so that a continuously enabled
+   action runs within one full rotation (weak fairness). *)
+let step_process t (p : proc) =
+  p.last_step <- t.clock;
+  let pending = Vec.length p.inbox in
+  if pending > 0 then begin
+    (* Non-FIFO: consume in a randomly shuffled order. Only the packets
+       present at the start of the step are delivered in it. *)
+    let batch = Array.init pending (Vec.get p.inbox) in
+    Vec.clear p.inbox;
+    Prng.shuffle t.prng batch;
+    Array.iter (fun pkt -> if p.alive then route_receive p pkt) batch
+  end;
+  if p.alive then begin
+    let acts = p.flat_actions in
+    let m = Array.length acts in
+    if m > 0 then begin
+      let rec scan k =
+        if k < m then begin
+          let idx = (p.cursor + k) mod m in
+          let _, a = acts.(idx) in
+          if a.Component.guard () then begin
+            p.cursor <- (idx + 1) mod m;
+            a.Component.body ()
+          end
+          else scan (k + 1)
+        end
+      in
+      scan 0
+    end
+  end
+
+let step t =
+  t.clock <- t.clock + 1;
+  Array.iter
+    (fun p ->
+      match p.crash_at with
+      | Some at when at <= t.clock -> do_crash t p
+      | Some _ | None -> ())
+    t.procs;
+  deliver_ripe t;
+  (* Steps within a tick run in adversary-shuffled order: a fixed pid order
+     would systematically favour low pids in same-tick interactions, which
+     asynchrony does not promise anyone. *)
+  let order = Array.init t.n_procs Fun.id in
+  Prng.shuffle t.prng order;
+  Array.iter
+    (fun pid ->
+      let p = t.procs.(pid) in
+      if p.alive then begin
+        let offered = t.adversary.Adversary.steps t.prng ~now:t.clock p.pid in
+        let forced = t.clock - p.last_step >= t.adversary.Adversary.fairness_bound in
+        if offered || forced then step_process t p
+      end)
+    order;
+  List.iter (fun f -> f ()) t.hooks
+
+let run t ~until =
+  while t.clock < until do
+    step t
+  done
+
+let run_while t ~max cond =
+  while t.clock < max && cond () do
+    step t
+  done

@@ -1,0 +1,72 @@
+(** Discrete-event simulation engine.
+
+    Implements the system model of Section 4 of the paper:
+
+    - a finite set of processes [0 .. n-1] executing atomic steps: in each
+      step a process receives at most one pending message and executes at
+      most one enabled guarded action (interleaving semantics, with a
+      rotating cursor providing weak fairness across a process's actions);
+    - reliable non-FIFO channels: every message sent to a correct process is
+      eventually delivered exactly once, uncorrupted; delivery delays are
+      chosen by the {!Adversary}; messages to crashed processes vanish;
+    - crash faults: a crashed process ceases execution permanently;
+    - a discrete global clock (the tick counter), inaccessible to protocols
+      except through their local [now] capability, which models local
+      step-counting rather than global time.
+
+    All nondeterminism derives from a single seeded {!Prng}, so runs are
+    exactly reproducible. *)
+
+type t
+
+val create : ?seed:int64 -> n:int -> adversary:Adversary.t -> unit -> t
+
+val n : t -> int
+val now : t -> Types.time
+val trace : t -> Trace.t
+val rng : t -> Prng.t
+
+val ctx : t -> Types.pid -> Context.t
+(** Capability bundle for building components at process [pid]. *)
+
+val register : t -> Types.pid -> Component.t -> unit
+(** Add a component (protocol layer / logical thread) to a process. Raises
+    [Invalid_argument] on duplicate component names at the same process. *)
+
+val schedule_crash : t -> Types.pid -> at:Types.time -> unit
+(** The process ceases taking steps at the first tick >= [at]. *)
+
+val crash_now : t -> Types.pid -> unit
+
+val is_live : t -> Types.pid -> bool
+val crashed : t -> Types.Pidset.t
+val live_set : t -> Types.Pidset.t
+
+val in_flight : t -> tag:string -> int
+(** Number of undelivered messages addressed to components named [tag]
+    (including those already ripe but not yet consumed). Used by white-box
+    monitors such as the Lemma 3 checker; not available to protocols. *)
+
+val in_flight_filtered : t -> tag:string -> f:(Msg.t -> bool) -> int
+(** Like {!in_flight} but counting only payloads satisfying [f]. *)
+
+val in_flight_total : t -> int
+(** All undelivered packets, any tag (excludes inbox-pending ones). *)
+
+val sent_total : t -> int
+(** Total messages sent so far (accounting, used by benches). *)
+
+val sent_with_tag : t -> tag:string -> int
+
+val on_tick : t -> (unit -> unit) -> unit
+(** Register a hook executed at the end of every tick (after all process
+    steps); used by online invariant monitors. *)
+
+val step : t -> unit
+(** Advance the clock by one tick. *)
+
+val run : t -> until:Types.time -> unit
+(** Run until [now >= until]. *)
+
+val run_while : t -> max:Types.time -> (unit -> bool) -> unit
+(** Step while the predicate holds and [now < max]. *)

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All stochastic choices in the simulator flow through this module so that
+    every run is exactly reproducible from its seed. [Stdlib.Random] is never
+    used anywhere in the library. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Snapshot of the current generator state. *)
+
+val split : t -> t
+(** [split t] derives an independent child stream and advances [t]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform over [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform over the inclusive range [lo, hi].
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val chance : t -> p:float -> bool
+(** [chance t ~p] is true with probability [p] (clamped to [0, 1]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

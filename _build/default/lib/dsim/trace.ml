@@ -1,0 +1,145 @@
+type event =
+  | Transition of { instance : string; pid : Types.pid; from_ : Types.phase; to_ : Types.phase }
+  | Suspect of { detector : string; owner : Types.pid; target : Types.pid }
+  | Trust of { detector : string; owner : Types.pid; target : Types.pid }
+  | Crash of { pid : Types.pid }
+  | Note of { pid : Types.pid; label : string; info : string }
+
+type entry = { at : Types.time; ev : event }
+
+type t = { mutable buf : entry array; mutable len : int }
+
+let dummy = { at = 0; ev = Crash { pid = -1 } }
+
+let create () = { buf = Array.make 1024 dummy; len = 0 }
+
+let append t ~at ev =
+  if t.len = Array.length t.buf then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.buf 0 bigger 0 t.len;
+    t.buf <- bigger
+  end;
+  t.buf.(t.len) <- { at; ev };
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let entries t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.buf.(i) :: !acc
+  done;
+  !acc
+
+let filter t p =
+  let acc = ref [] in
+  iter t (fun e -> if p e then acc := e :: !acc);
+  List.rev !acc
+
+let crash_times t =
+  let m = ref Types.Pidmap.empty in
+  iter t (fun e ->
+      match e.ev with
+      | Crash { pid } when not (Types.Pidmap.mem pid !m) ->
+          m := Types.Pidmap.add pid e.at !m
+      | _ -> ());
+  !m
+
+let transitions ?instance ?pid t =
+  filter t (fun e ->
+      match e.ev with
+      | Transition tr ->
+          (match instance with Some i -> String.equal i tr.instance | None -> true)
+          && (match pid with Some p -> p = tr.pid | None -> true)
+      | _ -> false)
+
+let phase_timeline t ~instance ~pid ~horizon =
+  let trs = transitions ~instance ~pid t in
+  let rec go current since = function
+    | [] -> if since >= horizon then [] else [ (since, horizon, current) ]
+    | e :: rest -> (
+        match e.ev with
+        | Transition tr ->
+            let seg = if e.at > since then [ (since, e.at, current) ] else [] in
+            seg @ go tr.to_ e.at rest
+        | _ -> go current since rest)
+  in
+  go Types.Thinking 0 trs
+
+let eating_intervals t ~instance ~pid ~horizon =
+  phase_timeline t ~instance ~pid ~horizon
+  |> List.filter_map (fun (a, b, ph) ->
+         if Types.phase_equal ph Types.Eating then Some (a, b) else None)
+
+let suspicion_flips t ~detector ~owner ~target =
+  filter t (fun e ->
+      match e.ev with
+      | Suspect s -> String.equal s.detector detector && s.owner = owner && s.target = target
+      | Trust s -> String.equal s.detector detector && s.owner = owner && s.target = target
+      | _ -> false)
+  |> List.map (fun e ->
+         match e.ev with
+         | Suspect _ -> (e.at, true)
+         | Trust _ -> (e.at, false)
+         | _ -> assert false)
+
+let suspected_at t ~detector ~owner ~target ~at ~initially =
+  let flips = suspicion_flips t ~detector ~owner ~target in
+  List.fold_left (fun acc (ts, v) -> if ts <= at then v else acc) initially flips
+
+let notes ?pid ?label t =
+  filter t (fun e ->
+      match e.ev with
+      | Note n ->
+          (match pid with Some p -> p = n.pid | None -> true)
+          && (match label with Some l -> String.equal l n.label | None -> true)
+      | _ -> false)
+
+let pp_event fmt = function
+  | Transition { instance; pid; from_; to_ } ->
+      Format.fprintf fmt "[%s] p%d: %a -> %a" instance pid Types.pp_phase from_ Types.pp_phase to_
+  | Suspect { detector; owner; target } ->
+      Format.fprintf fmt "[%s] p%d suspects p%d" detector owner target
+  | Trust { detector; owner; target } ->
+      Format.fprintf fmt "[%s] p%d trusts p%d" detector owner target
+  | Crash { pid } -> Format.fprintf fmt "CRASH p%d" pid
+  | Note { pid; label; info } -> Format.fprintf fmt "note p%d %s %s" pid label info
+
+let pp_entry fmt e = Format.fprintf fmt "t=%-6d %a" e.at pp_event e.ev
+
+let dump ?limit fmt t =
+  let n = match limit with Some l -> min l t.len | None -> t.len in
+  for i = 0 to n - 1 do
+    Format.fprintf fmt "%a@." pp_entry t.buf.(i)
+  done;
+  if n < t.len then Format.fprintf fmt "... (%d more)@." (t.len - n)
+
+let csv_row e =
+  let f = Printf.sprintf in
+  match e.ev with
+  | Transition { instance; pid; from_; to_ } ->
+      f "%d,transition,%s,%d,,%s->%s" e.at instance pid (Types.phase_to_string from_)
+        (Types.phase_to_string to_)
+  | Suspect { detector; owner; target } -> f "%d,suspect,%s,%d,%d," e.at detector owner target
+  | Trust { detector; owner; target } -> f "%d,trust,%s,%d,%d," e.at detector owner target
+  | Crash { pid } -> f "%d,crash,,%d,," e.at pid
+  | Note { pid; label; info } -> f "%d,note,%s,%d,,%s" e.at label pid info
+
+let to_csv t =
+  let buf = Buffer.create (4096 + (t.len * 32)) in
+  Buffer.add_string buf "at,kind,scope,actor,peer,detail\n";
+  iter t (fun e ->
+      Buffer.add_string buf (csv_row e);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let write_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

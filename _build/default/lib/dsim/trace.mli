@@ -1,0 +1,74 @@
+(** Structured run trace.
+
+    Every observable event of a run — dining phase transitions, suspicion
+    flips of any failure-detector module, crashes, and protocol-specific
+    notes — is appended here with its global-clock timestamp. All property
+    checkers (exclusion, wait-freedom, completeness, accuracy, fairness and
+    the paper's lemma invariants) are pure functions over a trace. *)
+
+type event =
+  | Transition of { instance : string; pid : Types.pid; from_ : Types.phase; to_ : Types.phase }
+      (** A diner of dining instance [instance] changed phase. *)
+  | Suspect of { detector : string; owner : Types.pid; target : Types.pid }
+      (** [owner]'s module of detector [detector] started suspecting [target]. *)
+  | Trust of { detector : string; owner : Types.pid; target : Types.pid }
+      (** [owner]'s module of detector [detector] stopped suspecting [target]. *)
+  | Crash of { pid : Types.pid }
+  | Note of { pid : Types.pid; label : string; info : string }
+      (** Protocol-specific marker (e.g. ping sent, ack received). *)
+
+type entry = { at : Types.time; ev : event }
+
+type t
+
+val create : unit -> t
+val append : t -> at:Types.time -> event -> unit
+val length : t -> int
+val entries : t -> entry list
+(** All entries in chronological (append) order. *)
+
+val iter : t -> (entry -> unit) -> unit
+val filter : t -> (entry -> bool) -> entry list
+
+val crash_times : t -> Types.time Types.Pidmap.t
+(** First crash time of each crashed process. *)
+
+val transitions : ?instance:string -> ?pid:Types.pid -> t -> entry list
+(** Phase transitions, optionally restricted to one instance and/or diner. *)
+
+val eating_intervals :
+  t -> instance:string -> pid:Types.pid -> horizon:Types.time -> (Types.time * Types.time) list
+(** Closed eating sessions of a diner as [(start, stop)] pairs; a session
+    still open at the end of the run is closed at [horizon]. *)
+
+val phase_timeline :
+  t -> instance:string -> pid:Types.pid -> horizon:Types.time
+  -> (Types.time * Types.time * Types.phase) list
+(** Piecewise-constant phase history [(from, to_exclusive, phase)] covering
+    [0, horizon); diners start [Thinking]. *)
+
+val suspicion_flips :
+  t -> detector:string -> owner:Types.pid -> target:Types.pid
+  -> (Types.time * bool) list
+(** Chronological suspicion history: [(t, true)] = started suspecting at [t];
+    [(t, false)] = started trusting. Initial attitude is whatever the
+    detector logged first (detectors log their initial state at time 0). *)
+
+val suspected_at :
+  t -> detector:string -> owner:Types.pid -> target:Types.pid -> at:Types.time
+  -> initially:bool -> bool
+(** Attitude of [owner] toward [target] at time [at] given the attitude
+    before any logged flip. *)
+
+val notes : ?pid:Types.pid -> ?label:string -> t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+val dump : ?limit:int -> Format.formatter -> t -> unit
+
+val to_csv : t -> string
+(** The whole trace as CSV with header
+    [at,kind,scope,actor,peer,detail] — [scope] is the dining instance or
+    detector name, [actor]/[peer] the pids involved, [detail] the phase
+    transition, flip direction, or note payload. *)
+
+val write_csv : t -> path:string -> unit

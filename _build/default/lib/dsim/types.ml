@@ -1,0 +1,27 @@
+type pid = int
+type time = int
+
+type phase =
+  | Thinking
+  | Hungry
+  | Eating
+  | Exiting
+
+let phase_to_string = function
+  | Thinking -> "thinking"
+  | Hungry -> "hungry"
+  | Eating -> "eating"
+  | Exiting -> "exiting"
+
+let pp_phase fmt p = Format.pp_print_string fmt (phase_to_string p)
+
+let phase_equal (a : phase) (b : phase) = a = b
+
+module Pidset = Set.Make (Int)
+module Pidmap = Map.Make (Int)
+
+let pidset_of_list l = Pidset.of_list l
+
+let pp_pidset fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (Pidset.elements s)))

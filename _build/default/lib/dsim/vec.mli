@@ -1,0 +1,13 @@
+(** Minimal growable array (OCaml 5.1 has no [Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val add_last : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val remove_last : 'a t -> unit
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/graphs/conflict_graph.ml: Array Dsim List Prng Queue Types

@@ -1,0 +1,1 @@
+lib/graphs/conflict_graph.mli: Dsim

@@ -1,0 +1,103 @@
+open Dsim
+
+type t = { size : int; adj : Types.Pidset.t array }
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Conflict_graph.of_edges: n must be positive";
+  let adj = Array.make n Types.Pidset.empty in
+  List.iter
+    (fun (a, b) ->
+      if a = b then invalid_arg "Conflict_graph.of_edges: self-loop";
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Conflict_graph.of_edges: endpoint out of range";
+      adj.(a) <- Types.Pidset.add b adj.(a);
+      adj.(b) <- Types.Pidset.add a adj.(b))
+    edges;
+  { size = n; adj }
+
+let n t = t.size
+let neighbors t p = t.adj.(p)
+let are_neighbors t p q = Types.Pidset.mem q t.adj.(p)
+
+let edges t =
+  let acc = ref [] in
+  for p = t.size - 1 downto 0 do
+    Types.Pidset.iter (fun q -> if p < q then acc := (p, q) :: !acc) t.adj.(p)
+  done;
+  List.sort compare !acc
+
+let degree t p = Types.Pidset.cardinal t.adj.(p)
+
+let max_degree t =
+  let best = ref 0 in
+  for p = 0 to t.size - 1 do
+    best := max !best (degree t p)
+  done;
+  !best
+
+let empty ~n = of_edges ~n []
+
+let pair () = of_edges ~n:2 [ (0, 1) ]
+
+let ring ~n =
+  if n < 3 then invalid_arg "Conflict_graph.ring: need n >= 3";
+  of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let clique ~n =
+  let acc = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      acc := (a, b) :: !acc
+    done
+  done;
+  of_edges ~n !acc
+
+let star ~n =
+  if n < 2 then invalid_arg "Conflict_graph.star: need n >= 2";
+  of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let path ~n =
+  if n < 2 then invalid_arg "Conflict_graph.path: need n >= 2";
+  of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Conflict_graph.grid: bad dimensions";
+  let id r c = (r * cols) + c in
+  let acc = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then acc := (id r c, id r (c + 1)) :: !acc;
+      if r + 1 < rows then acc := (id r c, id (r + 1) c) :: !acc
+    done
+  done;
+  of_edges ~n:(rows * cols) !acc
+
+let random ~n ~p ~rng =
+  let acc = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Prng.chance rng ~p then acc := (a, b) :: !acc
+    done
+  done;
+  of_edges ~n !acc
+
+let distance t a b =
+  if a = b then Some 0
+  else begin
+    let dist = Array.make t.size (-1) in
+    dist.(a) <- 0;
+    let queue = Queue.create () in
+    Queue.add a queue;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Types.Pidset.iter
+        (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            if v = b then found := Some dist.(v) else Queue.add v queue
+          end)
+        t.adj.(u)
+    done;
+    !found
+  end

@@ -1,0 +1,41 @@
+(** Undirected conflict graphs for dining instances.
+
+    A dining instance is modelled by an undirected conflict graph
+    [DP = (Pi, E)] (Section 4): vertices are diners, and an edge [(p, q)]
+    represents the set of shared resources contended for by neighbors [p]
+    and [q]. *)
+
+type t
+
+val of_edges : n:int -> (Dsim.Types.pid * Dsim.Types.pid) list -> t
+(** [of_edges ~n edges] builds a graph over pids [0 .. n-1]. Self-loops and
+    out-of-range endpoints are rejected; duplicate edges are merged. *)
+
+val n : t -> int
+val neighbors : t -> Dsim.Types.pid -> Dsim.Types.Pidset.t
+val are_neighbors : t -> Dsim.Types.pid -> Dsim.Types.pid -> bool
+val edges : t -> (Dsim.Types.pid * Dsim.Types.pid) list
+(** Each undirected edge once, as [(min, max)] pairs, sorted. *)
+
+val degree : t -> Dsim.Types.pid -> int
+val max_degree : t -> int
+
+val distance : t -> Dsim.Types.pid -> Dsim.Types.pid -> int option
+(** Length of a shortest path between two vertices ([None] if
+    disconnected; [Some 0] for a vertex and itself). *)
+
+(** {1 Generators} *)
+
+val empty : n:int -> t
+val pair : unit -> t
+(** Two diners, one edge — the shape of every DX_i in the reduction. *)
+
+val ring : n:int -> t
+val clique : n:int -> t
+val star : n:int -> t
+(** Vertex 0 is the hub. *)
+
+val path : n:int -> t
+val grid : rows:int -> cols:int -> t
+val random : n:int -> p:float -> rng:Dsim.Prng.t -> t
+(** Erdos–Renyi G(n, p). *)

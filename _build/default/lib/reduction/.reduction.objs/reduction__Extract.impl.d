@@ -1,0 +1,1 @@
+lib/reduction/extract.ml: Detectors Dsim List Pair Types

@@ -1,0 +1,1 @@
+lib/reduction/extract.mli: Detectors Dsim Pair

@@ -1,0 +1,1 @@
+lib/reduction/flawed_cm.ml: Component Context Dining Dsim Engine Messages Printf Trace Types

@@ -1,0 +1,1 @@
+lib/reduction/flawed_cm.mli: Dining Dsim Pair

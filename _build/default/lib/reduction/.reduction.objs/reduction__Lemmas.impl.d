@@ -1,0 +1,1 @@
+lib/reduction/lemmas.ml: Array Dining Dsim Engine Format List Messages Pair Printf String Subject Trace Types

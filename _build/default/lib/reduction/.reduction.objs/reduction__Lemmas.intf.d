@@ -1,0 +1,1 @@
+lib/reduction/lemmas.mli: Dsim Format Pair

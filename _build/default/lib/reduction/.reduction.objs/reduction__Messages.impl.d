@@ -1,0 +1,1 @@
+lib/reduction/messages.ml: Dsim

@@ -1,0 +1,1 @@
+lib/reduction/pair.ml: Array Component Context Dining Dsim Engine Graphs Printf Subject Types Witness

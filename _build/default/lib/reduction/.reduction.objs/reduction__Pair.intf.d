@@ -1,0 +1,1 @@
+lib/reduction/pair.mli: Dining Dsim Subject Witness

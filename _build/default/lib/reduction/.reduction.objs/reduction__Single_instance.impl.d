@@ -1,0 +1,1 @@
+lib/reduction/single_instance.ml: Component Context Dining Dsim Engine Messages Printf Trace Types

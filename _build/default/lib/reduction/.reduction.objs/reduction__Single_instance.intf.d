@@ -1,0 +1,1 @@
+lib/reduction/single_instance.mli: Dsim Pair

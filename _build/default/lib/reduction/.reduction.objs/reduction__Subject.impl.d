@@ -1,0 +1,1 @@
+lib/reduction/subject.ml: Array Component Context Dining Dsim Messages Printf Trace Types

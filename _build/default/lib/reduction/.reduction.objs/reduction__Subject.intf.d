@@ -1,0 +1,1 @@
+lib/reduction/subject.mli: Dining Dsim

@@ -1,0 +1,1 @@
+lib/reduction/witness.ml: Array Component Context Dining Dsim Messages Printf Trace Types

@@ -1,0 +1,1 @@
+lib/reduction/witness.mli: Dining Dsim

@@ -1,0 +1,35 @@
+open Dsim
+
+type t = {
+  detector_name : string;
+  members : Types.pid list;
+  pairs : Pair.t list;
+}
+
+let create ~engine ?(detector_name = "extracted") ~dining ~members () =
+  let members = List.sort_uniq compare members in
+  let pairs =
+    List.concat_map
+      (fun watcher ->
+        List.filter_map
+          (fun subject ->
+            if watcher = subject then None
+            else Some (Pair.create ~engine ~detector_name ~dining ~watcher ~subject ()))
+          members)
+      members
+  in
+  { detector_name; members; pairs }
+
+let pair t ~watcher ~subject =
+  match
+    List.find_opt (fun p -> p.Pair.watcher = watcher && p.Pair.subject = subject) t.pairs
+  with
+  | Some p -> p
+  | None -> raise Not_found
+
+let oracle t owner =
+  let mine = List.filter (fun p -> p.Pair.watcher = owner) t.pairs in
+  Detectors.Oracle.make ~name:t.detector_name ~owner ~suspects:(fun () ->
+      List.fold_left
+        (fun acc p -> if p.Pair.suspected () then Types.Pidset.add p.Pair.subject acc else acc)
+        Types.Pidset.empty mine)

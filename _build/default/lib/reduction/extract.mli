@@ -1,0 +1,28 @@
+(** The full asynchronous transformation: WF-◇WX dining -> ◇P.
+
+    For every ordered pair (p, q) of distinct members this instantiates one
+    reduction cell ({!Pair}); the aggregated module of process [p] suspects
+    exactly the processes its per-pair witnesses currently suspect. With a
+    WF-◇WX black box the extracted detector is ◇P (Theorems 1 and 2); with
+    a wait-free perpetual-WX black box it is the trusting oracle T
+    (Section 9). *)
+
+type t = {
+  detector_name : string;
+  members : Dsim.Types.pid list;
+  pairs : Pair.t list;
+}
+
+val create :
+  engine:Dsim.Engine.t ->
+  ?detector_name:string ->
+  dining:Pair.dining_factory ->
+  members:Dsim.Types.pid list ->
+  unit ->
+  t
+
+val pair : t -> watcher:Dsim.Types.pid -> subject:Dsim.Types.pid -> Pair.t
+(** Raises [Not_found] for a non-member pair. *)
+
+val oracle : t -> Dsim.Types.pid -> Detectors.Oracle.t
+(** The aggregated extracted module of one process. *)

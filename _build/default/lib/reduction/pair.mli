@@ -1,0 +1,56 @@
+(** One ordered monitoring pair (p, q): the full reduction cell.
+
+    For each ordered pair of processes (p, q) where p monitors q, the
+    reduction runs two instances DX_0 and DX_1 of a black-box WF-◇WX dining
+    solution in which p's witness threads and q's subject threads are the
+    two (neighboring) diners, plus the ping/ack protocol of Algorithms 1
+    and 2. The extracted local output is [suspect_q] at p.
+
+    The dining black box is pluggable (that is the point of a black-box
+    reduction): {!wf_ewx_factory} yields the ◇P-based [12]-style solution,
+    {!ftme_factory} the perpetual-exclusion substrate of Section 9 — the
+    same reduction then extracts the trusting oracle T. *)
+
+type dining_factory =
+  Dsim.Context.t ->
+  instance:string ->
+  participants:Dsim.Types.pid * Dsim.Types.pid ->
+  Dsim.Component.t * Dining.Spec.handle
+(** Builds one diner (at [ctx.self], which is one of [participants]) of a
+    two-diner dining instance named [instance]. *)
+
+val wf_ewx_factory :
+  n:int -> suspects:(Dsim.Types.pid -> unit -> Dsim.Types.Pidset.t) -> dining_factory
+(** [suspects owner] is the local ◇P module of process [owner] (shared by
+    all instances at that process). *)
+
+val ftme_factory :
+  suspects:(Dsim.Types.pid -> unit -> Dsim.Types.Pidset.t) -> dining_factory
+(** Perpetual-WX mutual exclusion between the two participants; [suspects]
+    should come from a trusting detector. *)
+
+type t = {
+  name : string;
+  watcher : Dsim.Types.pid;
+  subject : Dsim.Types.pid;
+  suspected : unit -> bool;  (** The extracted ◇P (or T) output at p. *)
+  witness : Witness.t;
+  subject_threads : Subject.t;
+  dx_instances : string array;  (** The two dining instance names. *)
+  witness_tag : string;
+  subject_tag : string;
+  w_handles : Dining.Spec.handle array;  (** p's diner handles in DX_0/DX_1. *)
+  s_handles : Dining.Spec.handle array;  (** q's diner handles in DX_0/DX_1. *)
+}
+
+val create :
+  engine:Dsim.Engine.t ->
+  ?detector_name:string ->
+  dining:dining_factory ->
+  watcher:Dsim.Types.pid ->
+  subject:Dsim.Types.pid ->
+  unit ->
+  t
+(** Registers 6 components: 2x2 diners and the witness/subject threads.
+    Suspicion flips are logged under [detector_name] (default
+    ["extracted"]); the initial attitude is "suspected". *)

@@ -1,0 +1,35 @@
+(** Ablation: a naive one-instance extraction (no hand-off).
+
+    The witness eats, rules on [q] by "did a ping arrive since my previous
+    meal", exits, and immediately re-competes in the {e same} dining
+    instance; the subject eats, pings, exits on the ack, and re-competes.
+    This differs from the flawed [8] construction (the subject does exit)
+    and from the paper's reduction (there is no second instance and no
+    hand-off overlap).
+
+    Why the paper needs two instances: WF-◇WX guarantees no {e exclusion}
+    failures in the suffix but promises nothing about {e fairness} — a
+    legal box may serve a fast witness several times between two meals of
+    a slow subject, forever. Each such double-meal resets [haveping] and
+    produces a fresh wrongful suspicion: eventual strong accuracy fails.
+    The hand-off of Algorithm 2 closes this by keeping some subject eating
+    at all times in the suffix, so witness meals and subject meals strictly
+    alternate per instance (Lemma 12). The V1 bench drives exactly this
+    schedule (a slowed subject process) against both constructions. *)
+
+type t = {
+  name : string;
+  watcher : Dsim.Types.pid;
+  subject : Dsim.Types.pid;
+  suspected : unit -> bool;
+  instance : string;
+}
+
+val create :
+  engine:Dsim.Engine.t ->
+  ?detector_name:string ->
+  dining:Pair.dining_factory ->
+  watcher:Dsim.Types.pid ->
+  subject:Dsim.Types.pid ->
+  unit ->
+  t

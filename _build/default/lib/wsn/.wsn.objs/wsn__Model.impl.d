@@ -1,0 +1,1 @@
+lib/wsn/model.ml: Array Component Detectors Dining Dsim Engine Fun Graphs List Option Trace Types

@@ -1,0 +1,1 @@
+lib/wsn/model.mli: Dsim

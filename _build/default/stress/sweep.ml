@@ -1,0 +1,75 @@
+(* Offline stress sweeps: dining algorithms x topologies x adversaries x
+   fault patterns, hundreds of configurations per invocation.
+
+     dune exec stress/sweep.exe -- wf      # the WF-◇WX box (648 configs)
+     dune exec stress/sweep.exe -- kfair   # the k-fair scheduler
+
+   These grids found three real bugs during development (an FTME
+   double-grant and a recovery deadlock from stale releases, and a kfair
+   whole-graph deadlock from stale-request overwrites), all now fixed and
+   pinned by regression tests. Keep running them after any protocol
+   change. *)
+
+open Dsim
+
+let adversary_of = function
+  | `Async -> Adversary.async_uniform ()
+  | `Partial gst -> Adversary.partial_sync ~gst ()
+  | `Bursty gst -> Adversary.bursty ~gst ()
+
+let graph_of seed = function
+  | `Ring n -> Graphs.Conflict_graph.ring ~n
+  | `Clique n -> Graphs.Conflict_graph.clique ~n
+  | `Star n -> Graphs.Conflict_graph.star ~n
+  | `Path n -> Graphs.Conflict_graph.path ~n
+  | `Rand n -> Graphs.Conflict_graph.random ~n ~p:0.5 ~rng:(Prng.create seed)
+
+let gname = function
+  | `Ring n -> Printf.sprintf "ring%d" n | `Clique n -> Printf.sprintf "clique%d" n
+  | `Star n -> Printf.sprintf "star%d" n | `Path n -> Printf.sprintf "path%d" n
+  | `Rand n -> Printf.sprintf "rand%d" n
+
+let aname = function
+  | `Async -> "async" | `Partial g -> Printf.sprintf "partial:%d" g
+  | `Bursty g -> Printf.sprintf "bursty:%d" g
+
+let () =
+  let algo = try Sys.argv.(1) with _ -> "wf" in
+  let fails = ref 0 and runs = ref 0 in
+  List.iter (fun gspec ->
+    List.iter (fun adv ->
+      List.iter (fun ncrash ->
+        List.iter (fun seed ->
+          incr runs;
+          let graph = graph_of seed gspec in
+          let n = Graphs.Conflict_graph.n graph in
+          let engine = Engine.create ~seed ~n ~adversary:(adversary_of adv) () in
+          let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
+          for pid = 0 to n - 1 do
+            let ctx = Engine.ctx engine pid in
+            let comp, handle =
+              if algo = "wf" then
+                let c, h, _ = Dining.Wf_ewx.component ctx ~instance:"dx" ~graph ~suspects:(suspects pid) () in (c, h)
+              else
+                let c, h, _ = Dining.Kfair.component ctx ~instance:"dx" ~graph ~suspects:(suspects pid) () in (c, h)
+            in
+            Engine.register engine pid comp;
+            Engine.register engine pid (Dining.Clients.greedy ctx ~handle ())
+          done;
+          if ncrash >= 1 then Engine.schedule_crash engine (n - 1) ~at:(600 + Int64.to_int (Int64.rem seed 1500L));
+          if ncrash >= 2 && n > 3 then Engine.schedule_crash engine 1 ~at:2200;
+          Engine.run engine ~until:14000;
+          let trace = Engine.trace engine in
+          let wf = Dining.Monitor.wait_freedom trace ~instance:"dx" ~n ~horizon:14000 ~slack:4500 in
+          let wx = Dining.Monitor.eventual_weak_exclusion trace ~instance:"dx" ~graph ~horizon:14000 ~suffix_from:8000 in
+          if not (wf.Detectors.Properties.holds && wx.Detectors.Properties.holds) then begin
+            incr fails;
+            Printf.printf "FAIL algo=%s g=%s adv=%s crashes=%d seed=%Ld wf=%b wx=%b\n%!"
+              algo (gname gspec) (aname adv) ncrash seed
+              wf.Detectors.Properties.holds wx.Detectors.Properties.holds
+          end)
+          (List.init 12 (fun i -> Int64.of_int (4000 + i * 1733))))
+        [ 0; 1; 2 ])
+      [ `Async; `Partial 300; `Bursty 800 ])
+    [ `Ring 5; `Clique 5; `Star 6; `Path 6; `Rand 6; `Rand 7 ];
+  Printf.printf "algo=%s runs=%d failures=%d\n" algo !runs !fails

@@ -1,0 +1,1 @@
+test/mock_dining.ml: Dining Dsim Engine Types

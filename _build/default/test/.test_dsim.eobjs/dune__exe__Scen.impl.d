@@ -1,0 +1,1 @@
+test/scen.ml: Adversary Array Detectors Dining Dsim Engine Fun Graphs List

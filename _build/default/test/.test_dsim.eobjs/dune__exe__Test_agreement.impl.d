@@ -1,0 +1,1 @@
+test/test_agreement.ml: Adversary Agreement Alcotest Core Detectors Dsim Engine Fun Int64 List Option Printf Reduction Trace

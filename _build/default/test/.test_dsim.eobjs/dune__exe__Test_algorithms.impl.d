@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Adversary Alcotest Array Dsim Engine List Mock_dining Printf Reduction Trace Types

@@ -1,0 +1,1 @@
+test/test_apps.ml: Adversary Alcotest Array Ctm Detectors Dining Dsim Engine Fun Graphs List Printf Wsn

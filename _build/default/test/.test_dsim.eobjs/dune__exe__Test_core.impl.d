@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Detectors Dsim Engine Int64 List Reduction String Trace Types

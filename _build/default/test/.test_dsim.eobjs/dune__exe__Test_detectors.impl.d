@@ -1,0 +1,1 @@
+test/test_detectors.ml: Adversary Alcotest Array Detectors Dsim Engine Fun List Printf Reduction Trace Types

@@ -1,0 +1,1 @@
+test/test_dining.ml: Adversary Alcotest Array Core Detectors Dining Dsim Engine Fun Graphs Int64 List Printf Prng Scen String Trace Types

@@ -1,0 +1,1 @@
+test/test_dsim.ml: Adversary Alcotest Array Component Context Dsim Engine Fun Graphs List Msg Prng String Trace Types Vec

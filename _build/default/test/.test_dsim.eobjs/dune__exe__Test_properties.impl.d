@@ -1,0 +1,1 @@
+test/test_properties.ml: Adversary Agreement Alcotest Array Core Ctm Detectors Dining Dsim Engine Fun Graphs Int64 List Printf Prng QCheck2 QCheck_alcotest Reduction String Trace Types Wsn

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Adversary Alcotest Array Detectors Dining Dsim Engine Fun Int64 List Reduction String Trace Types

@@ -1,0 +1,153 @@
+(* Tests for the core umbrella: scenario builders and batch statistics. *)
+
+open Dsim
+
+let check = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Batch statistics *)
+
+let test_stats_basic () =
+  let s = Core.Batch.Stats.of_ints [ 1; 2; 3; 4; 5 ] in
+  checkf "mean" 3.0 s.Core.Batch.Stats.mean;
+  checkf "median" 3.0 s.Core.Batch.Stats.median;
+  checkf "min" 1.0 s.Core.Batch.Stats.min_;
+  checkf "max" 5.0 s.Core.Batch.Stats.max_;
+  Alcotest.(check int) "count" 5 s.Core.Batch.Stats.count
+
+let test_stats_even_median () =
+  let s = Core.Batch.Stats.of_ints [ 1; 2; 3; 4 ] in
+  checkf "median of even list" 2.5 s.Core.Batch.Stats.median
+
+let test_stats_constant () =
+  let s = Core.Batch.Stats.of_floats [ 7.0; 7.0; 7.0 ] in
+  checkf "stddev of constant" 0.0 s.Core.Batch.Stats.stddev
+
+let test_stats_empty_rejected () =
+  (try
+     ignore (Core.Batch.Stats.of_floats []);
+     Alcotest.fail "empty accepted"
+   with Invalid_argument _ -> ())
+
+let test_seeds_distinct () =
+  let seeds = Core.Batch.seeds 10 in
+  Alcotest.(check int) "ten distinct seeds" 10 (List.length (List.sort_uniq compare seeds))
+
+let test_sweep () =
+  let results = Core.Batch.sweep ~seeds:(Core.Batch.seeds 4) (fun ~seed -> Int64.to_int seed) in
+  Alcotest.(check int) "four results" 4 (List.length results);
+  let hits, total =
+    Core.Batch.count_where ~seeds:(Core.Batch.seeds 4) (fun ~seed -> Int64.to_int seed mod 2 = 0)
+  in
+  check "count_where total" true (total = 4 && hits <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario builders are deterministic and well-formed *)
+
+let test_scenario_determinism () =
+  let run () =
+    let r = Core.Scenario.wf_extraction ~seed:55L ~with_lemma_monitors:false ~n:2 () in
+    Engine.run r.Core.Scenario.engine ~until:6000;
+    Trace.length (Engine.trace r.Core.Scenario.engine)
+  in
+  Alcotest.(check int) "identical trace lengths" (run ()) (run ())
+
+let test_scenario_pair_lookup () =
+  let r = Core.Scenario.wf_extraction ~seed:56L ~with_lemma_monitors:false ~n:3 () in
+  Alcotest.(check int) "six ordered pairs" 6
+    (List.length r.Core.Scenario.extract.Reduction.Extract.pairs);
+  let p = Reduction.Extract.pair r.Core.Scenario.extract ~watcher:2 ~subject:0 in
+  check "pair identity" true (p.Reduction.Pair.watcher = 2 && p.Reduction.Pair.subject = 0);
+  (try
+     ignore (Reduction.Extract.pair r.Core.Scenario.extract ~watcher:0 ~subject:0);
+     Alcotest.fail "self pair accepted"
+   with Not_found -> ())
+
+let test_scenario_oracle_aggregation () =
+  let r = Core.Scenario.wf_extraction ~seed:57L ~with_lemma_monitors:false ~n:3 () in
+  Engine.schedule_crash r.Core.Scenario.engine 2 ~at:2000;
+  Engine.run r.Core.Scenario.engine ~until:15000;
+  let oracle = Reduction.Extract.oracle r.Core.Scenario.extract 0 in
+  let s = oracle.Detectors.Oracle.suspects () in
+  check "aggregated module suspects the crashed process" true (Types.Pidset.mem 2 s);
+  check "and trusts the correct one" false (Types.Pidset.mem 1 s)
+
+let test_vulnerability_modes_disagree () =
+  let run mode =
+    let engine, suspected = Core.Scenario.vulnerability ~mode () in
+    Engine.run engine ~until:12000;
+    let det = match mode with `Flawed_cm -> "flawed-cm" | `Our_reduction -> "extracted" in
+    ( List.length (Trace.suspicion_flips (Engine.trace engine) ~detector:det ~owner:1 ~target:0),
+      suspected () )
+  in
+  let flawed_flips, _ = run `Flawed_cm in
+  let our_flips, our_final = run `Our_reduction in
+  check "flawed oscillates much more" true (flawed_flips > 10 * our_flips);
+  check "ours converges to trust" false our_final
+
+(* ------------------------------------------------------------------ *)
+(* Certification harness *)
+
+let certify c = Core.Certify.run ~seeds:[ 42L ] ~horizon:16000 c
+
+let test_certify_wf_box () =
+  let r = certify Core.Certify.wf_ewx_candidate in
+  if not r.Core.Certify.certified then
+    List.iter
+      (fun (c : Core.Certify.check) ->
+        if not c.Core.Certify.passed then
+          Alcotest.failf "%s: %s" c.Core.Certify.label c.Core.Certify.detail)
+      r.Core.Certify.checks
+
+let test_certify_kfair_box () =
+  let r = certify Core.Certify.kfair_candidate in
+  check "kfair box certified" true r.Core.Certify.certified
+
+let test_certify_ftme_box () =
+  let r = certify Core.Certify.ftme_candidate in
+  check "ftme box certified" true r.Core.Certify.certified
+
+let test_certify_negative_control () =
+  let r = certify Core.Certify.no_override_candidate in
+  check "negative control rejected" false r.Core.Certify.certified;
+  (* it must fail exactly on the liveness-derived checks *)
+  List.iter
+    (fun (c : Core.Certify.check) ->
+      let is_liveness =
+        String.length c.Core.Certify.label > 0
+        && (String.sub c.Core.Certify.label 0 4 = "wait"
+           || String.sub c.Core.Certify.label 0 9 = "Theorem 1")
+      in
+      if not c.Core.Certify.passed then
+        check ("failure is liveness-related: " ^ c.Core.Certify.label) true is_liveness)
+    r.Core.Certify.checks
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "batch",
+        [
+          Alcotest.test_case "stats basic" `Quick test_stats_basic;
+          Alcotest.test_case "even median" `Quick test_stats_even_median;
+          Alcotest.test_case "constant stddev" `Quick test_stats_constant;
+          Alcotest.test_case "empty rejected" `Quick test_stats_empty_rejected;
+          Alcotest.test_case "seeds distinct" `Quick test_seeds_distinct;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "determinism" `Quick test_scenario_determinism;
+          Alcotest.test_case "pair lookup" `Quick test_scenario_pair_lookup;
+          Alcotest.test_case "oracle aggregation" `Quick test_scenario_oracle_aggregation;
+          Alcotest.test_case "vulnerability modes disagree" `Quick
+            test_vulnerability_modes_disagree;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "wf box certifies" `Quick test_certify_wf_box;
+          Alcotest.test_case "kfair box certifies" `Quick test_certify_kfair_box;
+          Alcotest.test_case "ftme box certifies" `Quick test_certify_ftme_box;
+          Alcotest.test_case "negative control rejected" `Quick test_certify_negative_control;
+        ] );
+    ]

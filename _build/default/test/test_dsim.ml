@@ -1,0 +1,478 @@
+(* Unit tests for the simulation substrate. *)
+
+open Dsim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let da = List.init 16 (fun _ -> Prng.next_int64 a) in
+  let db = List.init 16 (fun _ -> Prng.next_int64 b) in
+  check "different seeds differ" true (da <> db)
+
+let test_prng_bounds () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng ~bound:17 in
+    check "in [0,17)" true (x >= 0 && x < 17);
+    let y = Prng.int_in rng ~lo:5 ~hi:9 in
+    check "in [5,9]" true (y >= 5 && y <= 9);
+    let f = Prng.float rng in
+    check "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_chance_extremes () =
+  let rng = Prng.create 3L in
+  for _ = 1 to 50 do
+    check "p=0 never" false (Prng.chance rng ~p:0.0);
+    check "p=1 always" true (Prng.chance rng ~p:1.0)
+  done
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 11L in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_roundtrip () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.add_last v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 37 (Vec.get v 37);
+  Vec.set v 37 (-1);
+  check_int "set" (-1) (Vec.get v 37);
+  Vec.remove_last v;
+  check_int "remove_last" 99 (Vec.length v);
+  Alcotest.(check int) "to_list length" 99 (List.length (Vec.to_list v));
+  Vec.clear v;
+  check_int "clear" 0 (Vec.length v)
+
+let test_vec_errors () =
+  let v = Vec.create () in
+  Alcotest.check_raises "get empty" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Vec.get v 0));
+  Alcotest.check_raises "remove empty" (Invalid_argument "Vec.remove_last: empty") (fun () ->
+      Vec.remove_last v)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: delivery, fairness, crashes *)
+
+type Msg.t += Ping of int | Pong of int
+
+let test_engine_ping_pong () =
+  let engine = Engine.create ~seed:5L ~n:2 ~adversary:(Adversary.async_uniform ()) () in
+  let received_at_1 = ref [] in
+  let pongs_at_0 = ref [] in
+  let ctx0 = Engine.ctx engine 0 and ctx1 = Engine.ctx engine 1 in
+  let sender =
+    let sent = ref 0 in
+    Component.make ~name:"app"
+      ~actions:
+        [
+          Component.action "send"
+            ~guard:(fun () -> !sent < 10)
+            ~body:(fun () ->
+              incr sent;
+              ctx0.Context.send ~dst:1 ~tag:"app" (Ping !sent));
+        ]
+      ~on_receive:(fun ~src:_ -> function
+        | Pong k -> pongs_at_0 := k :: !pongs_at_0
+        | _ -> ())
+      ()
+  in
+  let echo =
+    Component.make ~name:"app"
+      ~on_receive:(fun ~src -> function
+        | Ping k ->
+            received_at_1 := k :: !received_at_1;
+            ctx1.Context.send ~dst:src ~tag:"app" (Pong k)
+        | _ -> ())
+      ()
+  in
+  Engine.register engine 0 sender;
+  Engine.register engine 1 echo;
+  Engine.run engine ~until:500;
+  check_int "all pings delivered" 10 (List.length !received_at_1);
+  check_int "all pongs delivered" 10 (List.length !pongs_at_0);
+  let sorted = List.sort compare !received_at_1 in
+  Alcotest.(check (list int)) "exactly once, no corruption" (List.init 10 (fun i -> i + 1)) sorted
+
+let test_engine_determinism () =
+  let run () =
+    let engine = Engine.create ~seed:99L ~n:3 ~adversary:(Adversary.async_uniform ()) () in
+    let log = ref [] in
+    for pid = 0 to 2 do
+      let ctx = Engine.ctx engine pid in
+      let comp =
+        Component.make ~name:"app"
+          ~actions:
+            [
+              Component.action "gossip"
+                ~guard:(fun () -> ctx.Context.now () mod 7 = pid)
+                ~body:(fun () ->
+                  ctx.Context.send ~dst:((pid + 1) mod 3) ~tag:"app"
+                    (Ping (ctx.Context.now ())));
+            ]
+          ~on_receive:(fun ~src -> function
+            | Ping k -> log := (pid, src, k) :: !log
+            | _ -> ())
+          ()
+      in
+      Engine.register engine pid comp
+    done;
+    Engine.run engine ~until:300;
+    !log
+  in
+  check "same seed, same run" true (run () = run ())
+
+let test_engine_weak_fairness () =
+  (* A continuously enabled action runs infinitely often even under a
+     step-skipping adversary, thanks to the fairness bound. *)
+  let engine =
+    Engine.create ~seed:2L ~n:1
+      ~adversary:(Adversary.async_uniform ~step_prob:0.05 ~fairness_bound:10 ())
+      ()
+  in
+  let fired = ref 0 in
+  let comp =
+    Component.make ~name:"app"
+      ~actions:
+        [ Component.action "tick" ~guard:(fun () -> true) ~body:(fun () -> incr fired) ]
+      ()
+  in
+  Engine.register engine 0 comp;
+  Engine.run engine ~until:1000;
+  check "fired at least horizon/bound times" true (!fired >= 100)
+
+let test_engine_action_rotation () =
+  (* Two always-enabled actions alternate: neither starves the other. *)
+  let engine = Engine.create ~seed:2L ~n:1 ~adversary:(Adversary.synchronous ()) () in
+  let a = ref 0 and b = ref 0 in
+  let comp =
+    Component.make ~name:"app"
+      ~actions:
+        [
+          Component.action "a" ~guard:(fun () -> true) ~body:(fun () -> incr a);
+          Component.action "b" ~guard:(fun () -> true) ~body:(fun () -> incr b);
+        ]
+      ()
+  in
+  Engine.register engine 0 comp;
+  Engine.run engine ~until:100;
+  check "a ran" true (!a >= 49);
+  check "b ran" true (!b >= 49)
+
+let test_engine_crash_stops_steps () =
+  let engine = Engine.create ~seed:8L ~n:2 ~adversary:(Adversary.synchronous ()) () in
+  let steps = ref 0 in
+  let ctx1 = Engine.ctx engine 1 in
+  ignore ctx1;
+  let comp =
+    Component.make ~name:"app"
+      ~actions:[ Component.action "t" ~guard:(fun () -> true) ~body:(fun () -> incr steps) ]
+      ()
+  in
+  Engine.register engine 1 comp;
+  Engine.schedule_crash engine 1 ~at:50;
+  Engine.run engine ~until:200;
+  check "no steps after crash" true (!steps <= 50);
+  check "crashed set" true (Types.Pidset.mem 1 (Engine.crashed engine));
+  check "live set" true (Types.Pidset.mem 0 (Engine.live_set engine));
+  (* Crash is in the trace exactly once. *)
+  let crashes =
+    Trace.filter (Engine.trace engine) (fun e ->
+        match e.Trace.ev with Trace.Crash { pid } -> pid = 1 | _ -> false)
+  in
+  check_int "one crash event" 1 (List.length crashes)
+
+let test_engine_messages_to_crashed_dropped () =
+  let engine = Engine.create ~seed:8L ~n:2 ~adversary:(Adversary.async_uniform ()) () in
+  let got = ref 0 in
+  let ctx0 = Engine.ctx engine 0 in
+  let sender =
+    Component.make ~name:"app"
+      ~actions:
+        [
+          Component.action "spam"
+            ~guard:(fun () -> true)
+            ~body:(fun () -> ctx0.Context.send ~dst:1 ~tag:"app" (Ping 0));
+        ]
+      ()
+  in
+  let sink =
+    Component.make ~name:"app"
+      ~on_receive:(fun ~src:_ _ -> incr got)
+      ()
+  in
+  Engine.register engine 0 sender;
+  Engine.register engine 1 sink;
+  Engine.schedule_crash engine 1 ~at:10;
+  Engine.run engine ~until:100;
+  (* Only messages delivered before the crash arrive; in-flight count for
+     the tag eventually drains to 0 despite the crash. *)
+  check "some early deliveries possible" true (!got <= 10);
+  Engine.run engine ~until:300;
+  check "sender keeps spamming but inbox stays empty" true (Engine.in_flight engine ~tag:"app" >= 0)
+
+let test_engine_duplicate_component_rejected () =
+  let engine = Engine.create ~seed:1L ~n:1 ~adversary:(Adversary.synchronous ()) () in
+  let c () = Component.make ~name:"dup" () in
+  Engine.register engine 0 (c ());
+  (try
+     Engine.register engine 0 (c ());
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_engine_run_while () =
+  let engine = Engine.create ~seed:1L ~n:1 ~adversary:(Adversary.synchronous ()) () in
+  Engine.run_while engine ~max:1000 (fun () -> Engine.now engine < 123);
+  check_int "stopped at predicate" 123 (Engine.now engine)
+
+let test_engine_send_counters () =
+  let engine = Engine.create ~seed:3L ~n:2 ~adversary:(Adversary.synchronous ()) () in
+  let ctx0 = Engine.ctx engine 0 in
+  let sender =
+    Component.make ~name:"a"
+      ~actions:
+        [
+          Component.action "s"
+            ~guard:(fun () -> ctx0.Context.now () <= 10)
+            ~body:(fun () ->
+              ctx0.Context.send ~dst:1 ~tag:"a" (Ping 0);
+              ctx0.Context.send ~dst:1 ~tag:"b" (Ping 0));
+        ]
+      ()
+  in
+  Engine.register engine 0 sender;
+  Engine.run engine ~until:50;
+  check_int "total" 20 (Engine.sent_total engine);
+  check_int "per tag a" 10 (Engine.sent_with_tag engine ~tag:"a");
+  check_int "per tag b" 10 (Engine.sent_with_tag engine ~tag:"b");
+  check_int "unknown tag" 0 (Engine.sent_with_tag engine ~tag:"zzz")
+
+let test_engine_inbox_drains_under_load () =
+  (* Chatty senders must not grow inboxes without bound: a step consumes
+     every pending packet (regression for a systemic livelock where
+     heartbeat + retry traffic outpaced one-packet-per-step draining). *)
+  let engine = Engine.create ~seed:4L ~n:3 ~adversary:(Adversary.synchronous ()) () in
+  for pid = 0 to 2 do
+    let ctx = Engine.ctx engine pid in
+    let spam =
+      Component.make ~name:"spam"
+        ~actions:
+          [
+            Component.action "s"
+              ~guard:(fun () -> true)
+              ~body:(fun () ->
+                ctx.Context.send ~dst:((pid + 1) mod 3) ~tag:"spam" (Ping 0);
+                ctx.Context.send ~dst:((pid + 2) mod 3) ~tag:"spam" (Ping 0));
+          ]
+        ()
+    in
+    Engine.register engine pid spam
+  done;
+  Engine.run engine ~until:2000;
+  (* 6 sends per tick, delay 1: only the last tick's packets are pending. *)
+  check "bounded backlog" true (Engine.in_flight engine ~tag:"spam" <= 12)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_phase_timeline () =
+  let tr = Trace.create () in
+  let trans at from_ to_ =
+    Trace.append tr ~at (Trace.Transition { instance = "i"; pid = 0; from_; to_ })
+  in
+  trans 10 Types.Thinking Types.Hungry;
+  trans 20 Types.Hungry Types.Eating;
+  trans 35 Types.Eating Types.Exiting;
+  trans 36 Types.Exiting Types.Thinking;
+  let tl = Trace.phase_timeline tr ~instance:"i" ~pid:0 ~horizon:50 in
+  Alcotest.(check int) "five segments" 5 (List.length tl);
+  let intervals = Trace.eating_intervals tr ~instance:"i" ~pid:0 ~horizon:50 in
+  Alcotest.(check (list (pair int int))) "eating interval" [ (20, 35) ] intervals
+
+let test_trace_open_eating_clipped_at_horizon () =
+  let tr = Trace.create () in
+  Trace.append tr ~at:5
+    (Trace.Transition { instance = "i"; pid = 1; from_ = Types.Thinking; to_ = Types.Hungry });
+  Trace.append tr ~at:9
+    (Trace.Transition { instance = "i"; pid = 1; from_ = Types.Hungry; to_ = Types.Eating });
+  let intervals = Trace.eating_intervals tr ~instance:"i" ~pid:1 ~horizon:100 in
+  Alcotest.(check (list (pair int int))) "clipped" [ (9, 100) ] intervals
+
+let test_trace_suspicion_history () =
+  let tr = Trace.create () in
+  Trace.append tr ~at:3 (Trace.Suspect { detector = "d"; owner = 0; target = 1 });
+  Trace.append tr ~at:9 (Trace.Trust { detector = "d"; owner = 0; target = 1 });
+  Trace.append tr ~at:15 (Trace.Suspect { detector = "d"; owner = 0; target = 1 });
+  let flips = Trace.suspicion_flips tr ~detector:"d" ~owner:0 ~target:1 in
+  Alcotest.(check (list (pair int bool))) "flips" [ (3, true); (9, false); (15, true) ] flips;
+  check "at t=5 suspected" true
+    (Trace.suspected_at tr ~detector:"d" ~owner:0 ~target:1 ~at:5 ~initially:false);
+  check "at t=10 trusted" false
+    (Trace.suspected_at tr ~detector:"d" ~owner:0 ~target:1 ~at:10 ~initially:false);
+  check "at t=0 initial" false
+    (Trace.suspected_at tr ~detector:"d" ~owner:0 ~target:1 ~at:0 ~initially:false)
+
+let test_trace_crash_times () =
+  let tr = Trace.create () in
+  Trace.append tr ~at:42 (Trace.Crash { pid = 3 });
+  let m = Trace.crash_times tr in
+  Alcotest.(check (option int)) "crash at 42" (Some 42) (Types.Pidmap.find_opt 3 m);
+  Alcotest.(check (option int)) "no crash" None (Types.Pidmap.find_opt 0 m)
+
+let test_adversary_handicap () =
+  (* A handicapped process still makes progress (weak fairness), just more
+     slowly than its peers. *)
+  let adversary =
+    Adversary.handicap ~slow:[ 1 ] ~factor:0.1 (Adversary.synchronous ())
+  in
+  let engine = Engine.create ~seed:3L ~n:2 ~adversary () in
+  let steps = Array.make 2 0 in
+  for pid = 0 to 1 do
+    let comp =
+      Component.make ~name:"app"
+        ~actions:
+          [
+            Component.action "t"
+              ~guard:(fun () -> true)
+              ~body:(fun () -> steps.(pid) <- steps.(pid) + 1);
+          ]
+        ()
+    in
+    Engine.register engine pid comp
+  done;
+  Engine.run engine ~until:2000;
+  check "slow process still runs" true (steps.(1) > 50);
+  check "but much less than the fast one" true (steps.(1) * 3 < steps.(0))
+
+let test_trace_csv () =
+  let tr = Trace.create () in
+  Trace.append tr ~at:3
+    (Trace.Transition { instance = "i"; pid = 0; from_ = Types.Thinking; to_ = Types.Hungry });
+  Trace.append tr ~at:5 (Trace.Suspect { detector = "d"; owner = 0; target = 1 });
+  Trace.append tr ~at:9 (Trace.Crash { pid = 1 });
+  Trace.append tr ~at:11 (Trace.Note { pid = 0; label = "l"; info = "x" });
+  let csv = Trace.to_csv tr in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 4 rows" 5 (List.length lines);
+  Alcotest.(check string) "header" "at,kind,scope,actor,peer,detail" (List.hd lines);
+  Alcotest.(check string) "transition row" "3,transition,i,0,,thinking->hungry"
+    (List.nth lines 1);
+  Alcotest.(check string) "suspect row" "5,suspect,d,0,1," (List.nth lines 2);
+  Alcotest.(check string) "crash row" "9,crash,,1,," (List.nth lines 3)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict graphs *)
+
+let test_graph_generators () =
+  let module G = Graphs.Conflict_graph in
+  check_int "ring edges" 5 (List.length (G.edges (G.ring ~n:5)));
+  check_int "clique edges" 10 (List.length (G.edges (G.clique ~n:5)));
+  check_int "star edges" 4 (List.length (G.edges (G.star ~n:5)));
+  check_int "path edges" 4 (List.length (G.edges (G.path ~n:5)));
+  check_int "grid 2x3 edges" 7 (List.length (G.edges (G.grid ~rows:2 ~cols:3)));
+  check_int "pair" 1 (List.length (G.edges (G.pair ())));
+  check "ring symmetric" true (G.are_neighbors (G.ring ~n:5) 0 4);
+  check_int "star hub degree" 4 (G.degree (G.star ~n:5) 0);
+  check_int "max degree" 4 (G.max_degree (G.star ~n:5))
+
+let test_graph_rejects_garbage () =
+  let module G = Graphs.Conflict_graph in
+  (try
+     ignore (G.of_edges ~n:3 [ (0, 0) ]);
+     Alcotest.fail "self-loop accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (G.of_edges ~n:3 [ (0, 5) ]);
+     Alcotest.fail "out of range accepted"
+   with Invalid_argument _ -> ())
+
+let test_graph_distance () =
+  let module G = Graphs.Conflict_graph in
+  let g = G.path ~n:5 in
+  Alcotest.(check (option int)) "path ends" (Some 4) (G.distance g 0 4);
+  Alcotest.(check (option int)) "self" (Some 0) (G.distance g 2 2);
+  Alcotest.(check (option int)) "neighbors" (Some 1) (G.distance g 1 2);
+  let disconnected = G.of_edges ~n:4 [ (0, 1) ] in
+  Alcotest.(check (option int)) "disconnected" None (G.distance disconnected 0 3);
+  let ring = G.ring ~n:6 in
+  Alcotest.(check (option int)) "ring shortcut" (Some 2) (G.distance ring 0 4)
+
+let test_graph_random_valid () =
+  let module G = Graphs.Conflict_graph in
+  let rng = Prng.create 13L in
+  let g = G.random ~n:10 ~p:0.5 ~rng in
+  List.iter
+    (fun (a, b) ->
+      check "no self loop" true (a <> b);
+      check "symmetric" true (G.are_neighbors g a b && G.are_neighbors g b a))
+    (G.edges g)
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_vec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_vec_errors;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ping-pong reliable exactly-once" `Quick test_engine_ping_pong;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "weak fairness" `Quick test_engine_weak_fairness;
+          Alcotest.test_case "action rotation" `Quick test_engine_action_rotation;
+          Alcotest.test_case "crash stops steps" `Quick test_engine_crash_stops_steps;
+          Alcotest.test_case "messages to crashed dropped" `Quick
+            test_engine_messages_to_crashed_dropped;
+          Alcotest.test_case "duplicate component rejected" `Quick
+            test_engine_duplicate_component_rejected;
+          Alcotest.test_case "run_while" `Quick test_engine_run_while;
+          Alcotest.test_case "send counters" `Quick test_engine_send_counters;
+          Alcotest.test_case "inbox drains under load" `Quick
+            test_engine_inbox_drains_under_load;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "phase timeline" `Quick test_trace_phase_timeline;
+          Alcotest.test_case "open eating clipped" `Quick test_trace_open_eating_clipped_at_horizon;
+          Alcotest.test_case "suspicion history" `Quick test_trace_suspicion_history;
+          Alcotest.test_case "crash times" `Quick test_trace_crash_times;
+          Alcotest.test_case "csv export" `Quick test_trace_csv;
+          Alcotest.test_case "handicap adversary" `Quick test_adversary_handicap;
+        ] );
+      ( "graphs",
+        [
+          Alcotest.test_case "generators" `Quick test_graph_generators;
+          Alcotest.test_case "rejects garbage" `Quick test_graph_rejects_garbage;
+          Alcotest.test_case "distance" `Quick test_graph_distance;
+          Alcotest.test_case "random valid" `Quick test_graph_random_valid;
+        ] );
+    ]
