@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the pre-merge gate: format
+# (when ocamlformat is installed), build, full test suite, and a
+# 10k-tick end-to-end smoke that a run report is written and parses.
+
+.PHONY: all build test fmt check smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+smoke: build
+	dune exec bin/dinersim.exe -- extract --horizon 10000 --report /tmp/dinersim-smoke.json
+	dune exec bin/dinersim.exe -- report /tmp/dinersim-smoke.json
+
+check: fmt build test smoke
+	@echo "check: OK"
+
+clean:
+	dune clean

@@ -4,7 +4,12 @@
      dune exec bench/main.exe -- t1 v1   # selected experiments
 
    One entry per artifact of the paper; see the per-experiment index in
-   DESIGN.md and the measured-vs-paper discussion in EXPERIMENTS.md. *)
+   DESIGN.md and the measured-vs-paper discussion in EXPERIMENTS.md.
+
+   Every invocation also writes BENCH_dining.json at the current
+   directory (the repo root under `dune exec`): one wall-clock entry per
+   experiment run, schema "dinersim-bench/1". This file is the perf
+   trajectory anchor — successive PRs append comparable snapshots. *)
 
 let registry =
   [
@@ -29,17 +34,43 @@ let usage () =
   List.iter (fun (key, doc, _) -> Printf.printf "  %-8s %s\n" key doc) registry;
   print_endline "  all      run everything (default)"
 
+let bench_path = "BENCH_dining.json"
+
+let timed (key, doc, f) =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Obs.Json.Obj
+    [
+      ("key", Obs.Json.Str key);
+      ("doc", Obs.Json.Str doc);
+      ("wall_s", Obs.Json.Float elapsed);
+    ]
+
+let write_bench entries =
+  let j =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "dinersim-bench/1");
+        ("suite", Obs.Json.Str "dining");
+        ("experiments", Obs.Json.Arr entries);
+      ]
+  in
+  let oc = open_out bench_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string_pretty j));
+  Printf.printf "\nbench report written to %s\n" bench_path
+
+let run_selected entries = write_bench (List.map timed entries)
+
 let () =
   match Array.to_list Sys.argv with
-  | _ :: ([] | [ "all" ]) ->
-      List.iter (fun (_, _, f) -> f ()) registry
+  | _ :: ([] | [ "all" ]) -> run_selected registry
   | _ :: keys ->
       let unknown = List.filter (fun k -> not (List.exists (fun (key, _, _) -> key = k) registry)) keys in
       if unknown <> [] || List.mem "--help" keys || List.mem "help" keys then usage ()
       else
-        List.iter
-          (fun k ->
-            let _, _, f = List.find (fun (key, _, _) -> key = k) registry in
-            f ())
-          keys
+        run_selected
+          (List.map (fun k -> List.find (fun (key, _, _) -> key = k) registry) keys)
   | [] -> usage ()

@@ -124,6 +124,67 @@ let maybe_csv engine = function
       Printf.printf "trace written to %s\n" path
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Observability: --trace-out (streaming JSONL sink) and --report (JSON
+   run report). Install before the run so the sink sees every event and
+   the metrics hooks see every tick. *)
+
+let trace_out_t =
+  let doc = "Stream the run trace to $(i,PATH) as JSONL (one event object per line)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH" ~doc)
+
+let report_t =
+  let doc = "Write a machine-readable JSON run report to $(i,PATH)." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH" ~doc)
+
+type obs = {
+  metrics : Obs.Metrics.t;
+  inst : Obs.Instrument.t;
+  sink : (string * Obs.Sink.t) option;
+  report_path : string option;
+}
+
+(* Fail file-open/write problems as a clean CLI error instead of an
+   uncaught Sys_error traceback. *)
+let io_or_die what f =
+  try f () with Sys_error msg ->
+    Printf.eprintf "dinersim: cannot write %s: %s\n" what msg;
+    exit 2
+
+let obs_install engine ~trace_out ~report =
+  let metrics = Obs.Metrics.create () in
+  let inst = Obs.Instrument.install ~metrics engine in
+  let sink =
+    Option.map
+      (fun path ->
+        let s = io_or_die "trace" (fun () -> Obs.Sink.jsonl_file path) in
+        Obs.Sink.attach (Engine.trace engine) s;
+        (path, s))
+      trace_out
+  in
+  { metrics; inst; sink; report_path = report }
+
+let obs_finish obs ~cmd ~seed ~horizon ~config ~checks =
+  Obs.Instrument.finalize obs.inst;
+  Option.iter
+    (fun (path, (s : Obs.Sink.t)) ->
+      s.Obs.Sink.close ();
+      Printf.printf "trace streamed to %s\n" path)
+    obs.sink;
+  Option.iter
+    (fun path ->
+      let j =
+        Obs.Report.make ~cmd ~seed ~horizon ~config ~metrics:obs.metrics ~checks
+          ~wall:(Obs.Instrument.wall_json obs.inst) ()
+      in
+      io_or_die "report" (fun () -> Obs.Report.write ~path j);
+      Printf.printf "report written to %s\n" path)
+    obs.report_path
+
+let crashes_config crashes =
+  Obs.Json.Arr
+    (List.map (fun (pid, at) -> Obs.Json.Str (Printf.sprintf "%d@%d" pid at)) crashes)
+
 let apply_crashes engine crashes =
   List.iter (fun (pid, at) -> Engine.schedule_crash engine pid ~at) crashes
 
@@ -133,13 +194,14 @@ let maybe_dump engine n =
 (* ------------------------------------------------------------------ *)
 (* extract *)
 
-let run_extract seed horizon adversary crashes n box lemmas dump csv =
+let run_extract seed horizon adversary crashes n box lemmas dump csv trace_out report =
   let run =
     match box with
     | `Wf -> Core.Scenario.wf_extraction ~seed ~adversary ~with_lemma_monitors:lemmas ~n ()
     | `Ftme -> Core.Scenario.ftme_extraction ~seed ~adversary ~n ()
   in
   let engine = run.Core.Scenario.engine in
+  let obs = obs_install engine ~trace_out ~report in
   apply_crashes engine crashes;
   Engine.run engine ~until:horizon;
   maybe_dump engine dump;
@@ -166,18 +228,28 @@ let run_extract seed horizon adversary crashes n box lemmas dump csv =
   let show name verdict =
     Format.printf "%-26s %a@." name Detectors.Properties.pp_verdict verdict
   in
-  show "strong completeness:"
-    (Detectors.Properties.strong_completeness trace ~detector:"extracted" ~n
-       ~initially_suspected:true);
-  show "eventual strong accuracy:"
-    (Detectors.Properties.eventual_strong_accuracy trace ~detector:"extracted" ~n
-       ~initially_suspected:true);
-  (match box with
-  | `Ftme ->
-      show "trusting accuracy:"
-        (Detectors.Properties.trusting_accuracy trace ~detector:"extracted" ~n
-           ~initially_suspected:true)
-  | `Wf -> ());
+  let sc =
+    Detectors.Properties.strong_completeness trace ~detector:"extracted" ~n
+      ~initially_suspected:true
+  in
+  let esa =
+    Detectors.Properties.eventual_strong_accuracy trace ~detector:"extracted" ~n
+      ~initially_suspected:true
+  in
+  show "strong completeness:" sc;
+  show "eventual strong accuracy:" esa;
+  let ta_checks =
+    match box with
+    | `Ftme ->
+        let ta =
+          Detectors.Properties.trusting_accuracy trace ~detector:"extracted" ~n
+            ~initially_suspected:true
+        in
+        show "trusting accuracy:" ta;
+        [ Obs.Report.of_verdict "trusting_accuracy" ta ]
+    | `Wf -> []
+  in
+  let lemma_checks = ref [] in
   if lemmas then begin
     print_endline "lemma checks:";
     List.iter
@@ -187,6 +259,12 @@ let run_extract seed horizon adversary crashes n box lemmas dump csv =
           @ Reduction.Lemmas.trace_reports ~engine ~pair
         in
         let bad = List.filter (fun r -> not (Reduction.Lemmas.ok r)) reports in
+        lemma_checks :=
+          Obs.Report.check
+            ~detail:(String.concat "; " (List.map (fun r -> r.Reduction.Lemmas.lemma) bad))
+            ("lemmas." ^ pair.Reduction.Pair.name)
+            (bad = [])
+          :: !lemma_checks;
         if bad = [] then Printf.printf "  pair %s: all lemmas OK\n" pair.Reduction.Pair.name
         else
           List.iter
@@ -194,7 +272,21 @@ let run_extract seed horizon adversary crashes n box lemmas dump csv =
                 Reduction.Lemmas.pp_report r)
             bad)
       run.Core.Scenario.onlines
-  end
+  end;
+  obs_finish obs ~cmd:"extract" ~seed ~horizon
+    ~config:
+      [
+        ("n", Obs.Json.Int n);
+        ("box", Obs.Json.Str (match box with `Wf -> "wf" | `Ftme -> "ftme"));
+        ("adversary", Obs.Json.Str adversary.Adversary.name);
+        ("lemmas", Obs.Json.Bool lemmas);
+        ("crashes", crashes_config crashes);
+      ]
+    ~checks:
+      (Obs.Report.of_verdict "strong_completeness" sc
+       :: Obs.Report.of_verdict "eventual_strong_accuracy" esa
+       :: ta_checks
+      @ List.rev !lemma_checks)
 
 let extract_cmd =
   let n_t =
@@ -211,7 +303,7 @@ let extract_cmd =
   let term =
     Term.(
       const run_extract $ seed_t $ horizon_t 20000 $ adversary_t $ crashes_t $ n_t $ box_t
-      $ lemmas_t $ dump_trace_t $ csv_t)
+      $ lemmas_t $ dump_trace_t $ csv_t $ trace_out_t $ report_t)
   in
   Cmd.v (Cmd.info "extract" ~doc:"Run the failure-detector extraction (the paper's reduction)")
     term
@@ -219,9 +311,10 @@ let extract_cmd =
 (* ------------------------------------------------------------------ *)
 (* dining *)
 
-let run_dining seed horizon adversary crashes graph algo eat_ticks dump csv =
+let run_dining seed horizon adversary crashes graph algo eat_ticks dump csv trace_out report =
   let n = Graphs.Conflict_graph.n graph in
   let engine = Engine.create ~seed ~n ~adversary () in
+  let obs = obs_install engine ~trace_out ~report in
   let register_clients handle pid =
     let ctx = Engine.ctx engine pid in
     Engine.register engine pid (Dining.Clients.greedy ctx ~handle ~eat_ticks ())
@@ -303,7 +396,30 @@ let run_dining seed horizon adversary crashes graph algo eat_ticks dump csv =
      with
     | Some l -> string_of_int l
     | None -> "unbounded")
-    (Dining.Monitor.fairness_index trace ~instance ~pids:(List.init n Fun.id))
+    (Dining.Monitor.fairness_index trace ~instance ~pids:(List.init n Fun.id));
+  let wx =
+    Dining.Monitor.eventual_weak_exclusion trace ~instance ~graph ~horizon
+      ~suffix_from:(horizon / 2)
+  in
+  obs_finish obs ~cmd:"dining" ~seed ~horizon
+    ~config:
+      [
+        ( "algo",
+          Obs.Json.Str
+            (match algo with
+            | `Hygienic -> "hygienic" | `Wf -> "wf" | `Kfair -> "kfair" | `Ftme -> "ftme"
+            | `Fl1 -> "fl1") );
+        ("n", Obs.Json.Int n);
+        ("edges", Obs.Json.Int (List.length (Graphs.Conflict_graph.edges graph)));
+        ("adversary", Obs.Json.Str adversary.Adversary.name);
+        ("eat_ticks", Obs.Json.Int eat_ticks);
+        ("crashes", crashes_config crashes);
+      ]
+    ~checks:
+      [
+        Obs.Report.of_verdict "wait_freedom" wf;
+        Obs.Report.of_verdict "eventual_weak_exclusion" wx;
+      ]
 
 let dining_cmd =
   let algo_t =
@@ -323,15 +439,16 @@ let dining_cmd =
   let term =
     Term.(
       const run_dining $ seed_t $ horizon_t 12000 $ adversary_t $ crashes_t $ topology_t
-      $ algo_t $ eat_t $ dump_trace_t $ csv_t)
+      $ algo_t $ eat_t $ dump_trace_t $ csv_t $ trace_out_t $ report_t)
   in
   Cmd.v (Cmd.info "dining" ~doc:"Run a dining algorithm and check its specification") term
 
 (* ------------------------------------------------------------------ *)
 (* vulnerability *)
 
-let run_vulnerability seed horizon mode =
+let run_vulnerability seed horizon mode trace_out report =
   let engine, suspected = Core.Scenario.vulnerability ~seed ~mode () in
+  let obs = obs_install engine ~trace_out ~report in
   Engine.run engine ~until:horizon;
   let det = match mode with `Flawed_cm -> "flawed-cm" | `Our_reduction -> "extracted" in
   let flips = Trace.suspicion_flips (Engine.trace engine) ~detector:det ~owner:1 ~target:0 in
@@ -345,7 +462,23 @@ let run_vulnerability seed horizon mode =
     | `Flawed_cm ->
         "accuracy violated — p keeps eating (box's exclusive suffix is void) and keeps \
          suspecting the correct q"
-    | `Our_reduction -> "converged — the hand-off keeps the subject's sessions overlapping")
+    | `Our_reduction -> "converged — the hand-off keeps the subject's sessions overlapping");
+  let late = List.filter (fun (t, _) -> t > horizon - (horizon / 5)) flips in
+  obs_finish obs ~cmd:"vulnerability" ~seed ~horizon
+    ~config:
+      [
+        ( "mode",
+          Obs.Json.Str (match mode with `Flawed_cm -> "flawed" | `Our_reduction -> "ours") );
+      ]
+    ~checks:
+      [
+        Obs.Report.check
+          ~detail:
+            (Printf.sprintf "%d flips total, %d in the last fifth" (List.length flips)
+               (List.length late))
+          "accuracy_converged" (late = []);
+        Obs.Report.check "finally_trusts_correct_q" (not (suspected ()));
+      ]
 
 let vulnerability_cmd =
   let mode_t =
@@ -355,13 +488,15 @@ let vulnerability_cmd =
       & opt (enum [ ("flawed", `Flawed_cm); ("ours", `Our_reduction) ]) `Flawed_cm
       & info [ "mode" ] ~doc)
   in
-  let term = Term.(const run_vulnerability $ seed_t $ horizon_t 20000 $ mode_t) in
+  let term =
+    Term.(const run_vulnerability $ seed_t $ horizon_t 20000 $ mode_t $ trace_out_t $ report_t)
+  in
   Cmd.v (Cmd.info "vulnerability" ~doc:"Replay the Section 3 vulnerability scenario") term
 
 (* ------------------------------------------------------------------ *)
 (* wsn *)
 
-let run_wsn seed horizon scheduler areas nodes energy =
+let run_wsn seed horizon scheduler areas nodes energy trace_out report =
   let config =
     {
       Wsn.Model.default_config with
@@ -372,6 +507,7 @@ let run_wsn seed horizon scheduler areas nodes energy =
   in
   let n = areas * nodes in
   let engine = Engine.create ~seed ~n ~adversary:(Adversary.partial_sync ~gst:300 ()) () in
+  let obs = obs_install engine ~trace_out ~report in
   let model = Wsn.Model.setup ~engine ~config ~scheduler () in
   Engine.run engine ~until:horizon;
   Printf.printf "WSN %dx%d, battery=%d, scheduler=%s\n" areas nodes energy
@@ -384,7 +520,27 @@ let run_wsn seed horizon scheduler areas nodes energy =
       if s.Wsn.Model.at mod (horizon / 10) < 50 then
         Printf.printf "  t=%-6d covered=%d/%d redundant=%d alive=%d\n" s.Wsn.Model.at
           s.Wsn.Model.covered areas s.Wsn.Model.redundant s.Wsn.Model.alive)
-    (Wsn.Model.coverage_series model ~sample_every:50 ~horizon)
+    (Wsn.Model.coverage_series model ~sample_every:50 ~horizon);
+  let lifetime = Wsn.Model.lifetime model in
+  obs_finish obs ~cmd:"wsn" ~seed ~horizon
+    ~config:
+      [
+        ( "scheduler",
+          Obs.Json.Str
+            (match scheduler with Wsn.Model.Dining -> "dining" | Wsn.Model.All_on -> "all-on") );
+        ("areas", Obs.Json.Int areas);
+        ("nodes_per_area", Obs.Json.Int nodes);
+        ("initial_energy", Obs.Json.Int energy);
+      ]
+    ~checks:
+      [
+        Obs.Report.check
+          ~detail:
+            (match lifetime with
+            | Some t -> Printf.sprintf "network died at t=%d" t
+            | None -> "alive at horizon")
+          "network_alive_at_horizon" (lifetime = None);
+      ]
 
 let wsn_cmd =
   let scheduler_t =
@@ -398,16 +554,19 @@ let wsn_cmd =
   let nodes_t = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Nodes per area.") in
   let energy_t = Arg.(value & opt int 600 & info [ "energy" ] ~doc:"Battery (duty ticks).") in
   let term =
-    Term.(const run_wsn $ seed_t $ horizon_t 9000 $ scheduler_t $ areas_t $ nodes_t $ energy_t)
+    Term.(
+      const run_wsn $ seed_t $ horizon_t 9000 $ scheduler_t $ areas_t $ nodes_t $ energy_t
+      $ trace_out_t $ report_t)
   in
   Cmd.v (Cmd.info "wsn" ~doc:"Sensor-network duty-cycle scheduling demo") term
 
 (* ------------------------------------------------------------------ *)
 (* ctm *)
 
-let run_ctm seed horizon clients with_cm =
+let run_ctm seed horizon clients with_cm trace_out report =
   let n = clients + 1 in
   let engine = Engine.create ~seed ~n ~adversary:(Adversary.partial_sync ~gst:400 ()) () in
+  let obs = obs_install engine ~trace_out ~report in
   let store_comp, store_stats = Ctm.Store.component (Engine.ctx engine 0) () in
   Engine.register engine 0 store_comp;
   let client_pids = List.init clients (fun i -> i + 1) in
@@ -450,22 +609,43 @@ let run_ctm seed horizon clients with_cm =
         st.Ctm.Client.aborts)
     stats;
   Printf.printf "store: %d successful CAS, %d failed\n" store_stats.Ctm.Store.cas_ok
-    store_stats.Ctm.Store.cas_fail
+    store_stats.Ctm.Store.cas_fail;
+  let min_commits =
+    List.fold_left
+      (fun acc (_, (st : Ctm.Client.stats)) -> min acc st.Ctm.Client.commits)
+      max_int stats
+  in
+  let commits =
+    List.fold_left (fun acc (_, (st : Ctm.Client.stats)) -> acc + st.Ctm.Client.commits) 0 stats
+  in
+  let aborts =
+    List.fold_left (fun acc (_, (st : Ctm.Client.stats)) -> acc + st.Ctm.Client.aborts) 0 stats
+  in
+  obs_finish obs ~cmd:"ctm" ~seed ~horizon
+    ~config:
+      [ ("clients", Obs.Json.Int clients); ("contention_manager", Obs.Json.Bool with_cm) ]
+    ~checks:
+      [
+        Obs.Report.check
+          ~detail:(Printf.sprintf "%d commits / %d aborts" commits aborts)
+          "every_client_commits" (min_commits > 0);
+      ]
 
 let ctm_cmd =
   let clients_t = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Number of clients.") in
   let cm_t = Arg.(value & flag & info [ "no-cm" ] ~doc:"Disable the contention manager.") in
   let term =
     Term.(
-      const (fun seed horizon clients no_cm -> run_ctm seed horizon clients (not no_cm))
-      $ seed_t $ horizon_t 12000 $ clients_t $ cm_t)
+      const (fun seed horizon clients no_cm trace_out report ->
+          run_ctm seed horizon clients (not no_cm) trace_out report)
+      $ seed_t $ horizon_t 12000 $ clients_t $ cm_t $ trace_out_t $ report_t)
   in
   Cmd.v (Cmd.info "ctm" ~doc:"Contention-manager transaction boost demo") term
 
 (* ------------------------------------------------------------------ *)
 (* agreement *)
 
-let run_agreement seed horizon crashes n source =
+let run_agreement seed horizon crashes n source trace_out report =
   let engine, suspects_of =
     match source with
     | `Extracted ->
@@ -480,6 +660,7 @@ let run_agreement seed horizon crashes n source =
         in
         (engine, Core.Scenario.evp_suspects engine ~n ~windows:[])
   in
+  let obs = obs_install engine ~trace_out ~report in
   let members = List.init n Fun.id in
   let instances =
     List.map
@@ -505,8 +686,27 @@ let run_agreement seed horizon crashes n source =
           (match c.Agreement.Consensus.decided () with Some v -> string_of_int v | None -> "-")
           (l.Agreement.Leader.leader ()))
     instances;
-  Format.printf "agreement: %a@." Detectors.Properties.pp_verdict
-    (Agreement.Consensus.agreement (Engine.trace engine))
+  let agreement = Agreement.Consensus.agreement (Engine.trace engine) in
+  Format.printf "agreement: %a@." Detectors.Properties.pp_verdict agreement;
+  let all_correct_decided =
+    List.for_all
+      (fun (pid, c, _) ->
+        (not (Engine.is_live engine pid)) || c.Agreement.Consensus.decided () <> None)
+      instances
+  in
+  obs_finish obs ~cmd:"agreement" ~seed ~horizon
+    ~config:
+      [
+        ("n", Obs.Json.Int n);
+        ( "detector",
+          Obs.Json.Str (match source with `Native -> "native" | `Extracted -> "extracted") );
+        ("crashes", crashes_config crashes);
+      ]
+    ~checks:
+      [
+        Obs.Report.of_verdict "agreement" agreement;
+        Obs.Report.check "all_correct_decided" all_correct_decided;
+      ]
 
 let agreement_cmd =
   let n_t =
@@ -520,7 +720,9 @@ let agreement_cmd =
       & info [ "detector" ] ~doc)
   in
   let term =
-    Term.(const run_agreement $ seed_t $ horizon_t 20000 $ crashes_t $ n_t $ source_t)
+    Term.(
+      const run_agreement $ seed_t $ horizon_t 20000 $ crashes_t $ n_t $ source_t
+      $ trace_out_t $ report_t)
   in
   Cmd.v
     (Cmd.info "agreement" ~doc:"Consensus and leader election over ◇P (native or extracted)")
@@ -529,7 +731,11 @@ let agreement_cmd =
 (* ------------------------------------------------------------------ *)
 (* certify *)
 
-let run_certify box seeds horizon =
+let run_certify box seeds horizon trace_out report_path =
+  (match trace_out with
+  | Some _ ->
+      prerr_endline "certify runs many short engines; --trace-out is not supported here"
+  | None -> ());
   let candidate =
     match box with
     | `Wf -> Core.Certify.wf_ewx_candidate
@@ -539,6 +745,30 @@ let run_certify box seeds horizon =
   in
   let report = Core.Certify.run ~seeds:(Core.Batch.seeds seeds) ~horizon candidate in
   Format.printf "%a" Core.Certify.pp_report report;
+  Option.iter
+    (fun path ->
+      let j =
+        Obs.Report.make ~cmd:"certify" ~horizon
+          ~config:
+            [
+              ( "box",
+                Obs.Json.Str
+                  (match box with
+                  | `Wf -> "wf" | `Kfair -> "kfair" | `Ftme -> "ftme" | `None -> "none") );
+              ("candidate", Obs.Json.Str report.Core.Certify.candidate_name);
+              ("seeds", Obs.Json.Int seeds);
+            ]
+          ~checks:
+            (List.map
+               (fun (c : Core.Certify.check) ->
+                 Obs.Report.check ~detail:c.Core.Certify.detail c.Core.Certify.label
+                   c.Core.Certify.passed)
+               report.Core.Certify.checks)
+          ()
+      in
+      io_or_die "report" (fun () -> Obs.Report.write ~path j);
+      Printf.printf "report written to %s\n" path)
+    report_path;
   if not report.Core.Certify.certified then exit 1
 
 let certify_cmd =
@@ -552,11 +782,34 @@ let certify_cmd =
   let seeds_t =
     Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds per check.")
   in
-  let term = Term.(const run_certify $ box_t $ seeds_t $ horizon_t 20000) in
+  let term =
+    Term.(const run_certify $ box_t $ seeds_t $ horizon_t 20000 $ trace_out_t $ report_t)
+  in
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Check that a dining implementation behaves as a WF-◇WX box and that ◇P is              extractable from it")
     term
+
+(* ------------------------------------------------------------------ *)
+(* report — validate and summarise a run report *)
+
+let run_report path =
+  match Obs.Report.read ~path with
+  | j -> Format.printf "%a" Obs.Report.pp_summary j
+  | exception Failure msg ->
+      prerr_endline msg;
+      exit 2
+  | exception Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+
+let report_cmd =
+  let path_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Report to validate.")
+  in
+  let term = Term.(const run_report $ path_t) in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Validate a JSON run report and print its check summary") term
 
 (* ------------------------------------------------------------------ *)
 
@@ -564,6 +817,9 @@ let main_cmd =
   let doc = "simulator for wait-free dining under eventual weak exclusion and the ◇P reduction" in
   let info = Cmd.info "dinersim" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ extract_cmd; dining_cmd; vulnerability_cmd; wsn_cmd; ctm_cmd; agreement_cmd; certify_cmd ]
+    [
+      extract_cmd; dining_cmd; vulnerability_cmd; wsn_cmd; ctm_cmd; agreement_cmd;
+      certify_cmd; report_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

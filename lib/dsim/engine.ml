@@ -31,7 +31,7 @@ and t = {
   sent_by_tag : (string, int) Hashtbl.t;
 }
 
-let create ?(seed = 0xC0FFEEL) ~n ~adversary () =
+let create ?(seed = 0xC0FFEEL) ?(retain_trace = true) ~n ~adversary () =
   if n <= 0 then invalid_arg "Engine.create: n must be positive";
   let procs =
     Array.init n (fun pid ->
@@ -54,7 +54,7 @@ let create ?(seed = 0xC0FFEEL) ~n ~adversary () =
     clock = 0;
     in_flight = Types.Pidmap.empty;
     flight_count = 0;
-    tr = Trace.create ();
+    tr = Trace.create ~retain:retain_trace ();
     hooks = [];
     sent_total = 0;
     sent_by_tag = Hashtbl.create 32;
@@ -157,6 +157,10 @@ let in_flight_total t = t.flight_count
 let sent_total t = t.sent_total
 
 let sent_with_tag t ~tag = Option.value ~default:0 (Hashtbl.find_opt t.sent_by_tag tag)
+
+let sent_by_tag t =
+  Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) t.sent_by_tag []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let on_tick t f = t.hooks <- t.hooks @ [ f ]
 

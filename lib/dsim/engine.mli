@@ -19,7 +19,10 @@
 
 type t
 
-val create : ?seed:int64 -> n:int -> adversary:Adversary.t -> unit -> t
+val create : ?seed:int64 -> ?retain_trace:bool -> n:int -> adversary:Adversary.t -> unit -> t
+(** [retain_trace] (default [true]) is forwarded to {!Trace.create}: pass
+    [false] for very long runs that stream the trace to an [Obs.Sink]
+    instead of holding it in memory. *)
 
 val n : t -> int
 val now : t -> Types.time
@@ -57,6 +60,10 @@ val sent_total : t -> int
 (** Total messages sent so far (accounting, used by benches). *)
 
 val sent_with_tag : t -> tag:string -> int
+
+val sent_by_tag : t -> (string * int) list
+(** All (tag, sent count) pairs, sorted by tag — a deterministic snapshot
+    for metrics export. *)
 
 val on_tick : t -> (unit -> unit) -> unit
 (** Register a hook executed at the end of every tick (after all process

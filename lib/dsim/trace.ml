@@ -7,20 +7,38 @@ type event =
 
 type entry = { at : Types.time; ev : event }
 
-type t = { mutable buf : entry array; mutable len : int }
+type t = {
+  mutable buf : entry array;
+  mutable len : int;
+  mutable retain : bool;
+  mutable subs : (entry -> unit) list; (* registration order *)
+}
 
 let dummy = { at = 0; ev = Crash { pid = -1 } }
 
-let create () = { buf = Array.make 1024 dummy; len = 0 }
+let create ?(retain = true) () =
+  { buf = Array.make 1024 dummy; len = 0; retain; subs = [] }
+
+let subscribe t f = t.subs <- t.subs @ [ f ]
+
+let set_retain t b = t.retain <- b
+let retains t = t.retain
 
 let append t ~at ev =
-  if t.len = Array.length t.buf then begin
-    let bigger = Array.make (2 * t.len) dummy in
-    Array.blit t.buf 0 bigger 0 t.len;
-    t.buf <- bigger
-  end;
-  t.buf.(t.len) <- { at; ev };
-  t.len <- t.len + 1
+  (match t.subs with
+  | [] -> ()
+  | subs ->
+      let e = { at; ev } in
+      List.iter (fun f -> f e) subs);
+  if t.retain then begin
+    if t.len = Array.length t.buf then begin
+      let bigger = Array.make (2 * t.len) dummy in
+      Array.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    t.buf.(t.len) <- { at; ev };
+    t.len <- t.len + 1
+  end
 
 let length t = t.len
 
@@ -119,16 +137,35 @@ let dump ?limit fmt t =
   done;
   if n < t.len then Format.fprintf fmt "... (%d more)@." (t.len - n)
 
+(* RFC-4180: a field containing a comma, double quote, CR or LF is wrapped
+   in double quotes, with embedded quotes doubled. *)
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
 let csv_row e =
   let f = Printf.sprintf in
+  let q = csv_field in
   match e.ev with
   | Transition { instance; pid; from_; to_ } ->
-      f "%d,transition,%s,%d,,%s->%s" e.at instance pid (Types.phase_to_string from_)
+      f "%d,transition,%s,%d,,%s->%s" e.at (q instance) pid (Types.phase_to_string from_)
         (Types.phase_to_string to_)
-  | Suspect { detector; owner; target } -> f "%d,suspect,%s,%d,%d," e.at detector owner target
-  | Trust { detector; owner; target } -> f "%d,trust,%s,%d,%d," e.at detector owner target
+  | Suspect { detector; owner; target } -> f "%d,suspect,%s,%d,%d," e.at (q detector) owner target
+  | Trust { detector; owner; target } -> f "%d,trust,%s,%d,%d," e.at (q detector) owner target
   | Crash { pid } -> f "%d,crash,,%d,," e.at pid
-  | Note { pid; label; info } -> f "%d,note,%s,%d,,%s" e.at label pid info
+  | Note { pid; label; info } -> f "%d,note,%s,%d,,%s" e.at (q label) pid (q info)
 
 let to_csv t =
   let buf = Buffer.create (4096 + (t.len * 32)) in

@@ -21,8 +21,21 @@ type entry = { at : Types.time; ev : event }
 
 type t
 
-val create : unit -> t
+val create : ?retain:bool -> unit -> t
+(** [retain] (default [true]): whether appended entries are stored in the
+    in-memory buffer. With [~retain:false] the trace only fans appends out
+    to subscribers — the memory-free streaming mode for very long runs
+    (property checkers then run offline over an exported JSONL file). *)
+
 val append : t -> at:Types.time -> event -> unit
+
+val subscribe : t -> (entry -> unit) -> unit
+(** Register a streaming observer called synchronously on every append, in
+    registration order, before (and regardless of) in-memory retention.
+    This is the attachment point for [Obs.Sink] trace sinks. *)
+
+val set_retain : t -> bool -> unit
+val retains : t -> bool
 val length : t -> int
 val entries : t -> entry list
 (** All entries in chronological (append) order. *)

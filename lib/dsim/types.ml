@@ -13,6 +13,13 @@ let phase_to_string = function
   | Eating -> "eating"
   | Exiting -> "exiting"
 
+let phase_of_string = function
+  | "thinking" -> Some Thinking
+  | "hungry" -> Some Hungry
+  | "eating" -> Some Eating
+  | "exiting" -> Some Exiting
+  | _ -> None
+
 let pp_phase fmt p = Format.pp_print_string fmt (phase_to_string p)
 
 let phase_equal (a : phase) (b : phase) = a = b

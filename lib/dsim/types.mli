@@ -19,6 +19,9 @@ type phase =
   | Exiting
 
 val phase_to_string : phase -> string
+
+(** Inverse of {!phase_to_string}; [None] on unknown names. *)
+val phase_of_string : string -> phase option
 val pp_phase : Format.formatter -> phase -> unit
 val phase_equal : phase -> phase -> bool
 

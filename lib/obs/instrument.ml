@@ -1,0 +1,76 @@
+open Dsim
+
+type t = {
+  metrics : Metrics.t;
+  engine : Engine.t;
+  t0 : float;
+  mutable ticks : int;
+  mutable elapsed : float option; (* set by finalize *)
+}
+
+let install ~metrics engine =
+  let st = { metrics; engine; t0 = Unix.gettimeofday (); ticks = 0; elapsed = None } in
+  let depth =
+    Metrics.histogram metrics "engine.in_flight_depth" ~buckets:Metrics.depth_buckets
+  in
+  let live = Metrics.gauge metrics "engine.live_procs" in
+  let ticks = Metrics.counter metrics "engine.ticks" in
+  Metrics.set live (Engine.n engine);
+  Engine.on_tick engine (fun () ->
+      st.ticks <- st.ticks + 1;
+      Metrics.incr ticks;
+      Metrics.observe depth (Engine.in_flight_total engine);
+      Metrics.set live (Types.Pidset.cardinal (Engine.live_set engine)));
+  (* Per-(instance, pid) start of the current hunger session. *)
+  let hungry_since : (string * Types.pid, Types.time) Hashtbl.t = Hashtbl.create 64 in
+  Trace.subscribe (Engine.trace engine) (fun e ->
+      match e.Trace.ev with
+      | Trace.Suspect { detector; _ } ->
+          Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".flips"));
+          Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".suspects"))
+      | Trace.Trust { detector; _ } ->
+          Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".flips"));
+          Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".trusts"))
+      | Trace.Crash _ -> Metrics.incr (Metrics.counter metrics "engine.crashes")
+      | Trace.Transition { instance; pid; to_; _ } -> (
+          match to_ with
+          | Types.Hungry -> Hashtbl.replace hungry_since (instance, pid) e.Trace.at
+          | Types.Eating -> (
+              Metrics.incr (Metrics.counter metrics ("dining." ^ instance ^ ".meals"));
+              match Hashtbl.find_opt hungry_since (instance, pid) with
+              | Some since ->
+                  Hashtbl.remove hungry_since (instance, pid);
+                  Metrics.observe
+                    (Metrics.histogram metrics
+                       ("dining." ^ instance ^ ".hunger_latency")
+                       ~buckets:Metrics.latency_buckets)
+                    (e.Trace.at - since)
+              | None -> ())
+          | Types.Thinking | Types.Exiting -> ())
+      | Trace.Note _ -> ());
+  st
+
+let finalize st =
+  match st.elapsed with
+  | Some _ -> ()
+  | None ->
+      st.elapsed <- Some (Unix.gettimeofday () -. st.t0);
+      Metrics.set (Metrics.gauge st.metrics "engine.clock") (Engine.now st.engine);
+      Metrics.set (Metrics.gauge st.metrics "engine.sent_total") (Engine.sent_total st.engine);
+      Metrics.set
+        (Metrics.gauge st.metrics "engine.in_flight_final")
+        (Engine.in_flight_total st.engine);
+      List.iter
+        (fun (tag, n) -> Metrics.set (Metrics.gauge st.metrics ("engine.sent." ^ tag)) n)
+        (Engine.sent_by_tag st.engine)
+
+let wall_json st =
+  finalize st;
+  let elapsed = Option.value ~default:0.0 st.elapsed in
+  Json.Obj
+    [
+      ("elapsed_s", Json.Float elapsed);
+      ("ticks", Json.Int st.ticks);
+      ( "ticks_per_s",
+        if elapsed > 0.0 then Json.Float (float_of_int st.ticks /. elapsed) else Json.Null );
+    ]

@@ -1,0 +1,35 @@
+(** Standard engine instrumentation.
+
+    {!install} wires a {!Metrics} registry to a live engine:
+
+    - an [on_tick] hook samples per-tick state: histogram
+      [engine.in_flight_depth] (undelivered packets after the tick), gauge
+      [engine.live_procs], counter [engine.ticks];
+    - a trace subscriber folds events as they happen: counters
+      [detector.<name>.flips], [detector.<name>.suspects],
+      [detector.<name>.trusts], [engine.crashes],
+      [dining.<instance>.meals], and histogram
+      [dining.<instance>.hunger_latency] (ticks from entering Hungry to
+      entering Eating, one sample per completed hunger session).
+
+    {!finalize} snapshots end-of-run totals: gauges [engine.clock],
+    [engine.sent_total], [engine.in_flight_final] and per-tag
+    [engine.sent.<tag>].
+
+    All of the above is deterministic in the engine seed. Wall-clock
+    timing (elapsed seconds, ticks/sec) is measured too but deliberately
+    kept {e outside} the registry — it is only available through
+    {!wall_json}, which reports feed into their segregated ["wall_clock"]
+    section. *)
+
+type t
+
+val install : metrics:Metrics.t -> Dsim.Engine.t -> t
+(** Install the hooks. Call before running the engine. *)
+
+val finalize : t -> unit
+(** Record end-of-run totals and stop the wall clock; idempotent. *)
+
+val wall_json : t -> Json.t
+(** [{"elapsed_s":...,"ticks":...,"ticks_per_s":...}] — nondeterministic,
+    for the report's ["wall_clock"] section only. Finalizes if needed. *)

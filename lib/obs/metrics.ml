@@ -1,0 +1,120 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+type histogram = {
+  bounds : int array; (* strictly increasing inclusive upper bounds *)
+  counts : int array; (* length bounds + 1; last is overflow *)
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { tbl : (string, item) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let register t name make match_existing =
+  match Hashtbl.find_opt t.tbl name with
+  | Some item -> (
+      match match_existing item with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name (kind_name item)))
+  | None ->
+      let v, item = make () in
+      Hashtbl.add t.tbl name item;
+      v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g = 0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram t name ~buckets =
+  register t name
+    (fun () ->
+      let bounds = Array.of_list buckets in
+      Array.iteri
+        (fun i b -> if i > 0 && b <= bounds.(i - 1) then invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+        bounds;
+      let h =
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          n = 0;
+          sum = 0;
+          min_v = max_int;
+          max_v = min_int;
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | _ -> None)
+
+let observe h v =
+  let rec slot i =
+    if i >= Array.length h.bounds then i else if v <= h.bounds.(i) then i else slot (i + 1)
+  in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+let latency_buckets = [ 1; 3; 10; 30; 100; 300; 1000; 3000; 10000; 30000 ]
+let depth_buckets = [ 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
+
+let histogram_json h =
+  let buckets =
+    List.init
+      (Array.length h.counts)
+      (fun i ->
+        let le =
+          if i < Array.length h.bounds then Json.Int h.bounds.(i) else Json.Str "inf"
+        in
+        Json.Obj [ ("le", le); ("count", Json.Int h.counts.(i)) ])
+  in
+  Json.Obj
+    [
+      ("buckets", Json.Arr buckets);
+      ("count", Json.Int h.n);
+      ("sum", Json.Int h.sum);
+      ("min", if h.n = 0 then Json.Null else Json.Int h.min_v);
+      ("max", if h.n = 0 then Json.Null else Json.Int h.max_v);
+    ]
+
+let to_json t =
+  let sorted kind_of =
+    Hashtbl.fold
+      (fun name item acc -> match kind_of item with Some j -> (name, j) :: acc | None -> acc)
+      t.tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (sorted (function Counter c -> Some (Json.Int c.c) | _ -> None)));
+      ("gauges", Json.Obj (sorted (function Gauge g -> Some (Json.Int g.g) | _ -> None)));
+      ( "histograms",
+        Json.Obj (sorted (function Histogram h -> Some (histogram_json h) | _ -> None)) );
+    ]

@@ -1,0 +1,47 @@
+(** Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+    Everything here is driven by simulation events, so for a fixed seed the
+    snapshot is bit-for-bit reproducible; wall-clock quantities are kept
+    out of the registry on purpose (see {!Instrument.wall_json}).
+
+    Units convention, used by every instrumented name in this repo:
+    counters count events, gauges are instantaneous quantities, histogram
+    samples are in global-clock {e ticks} unless the name says otherwise. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create. Raises [Invalid_argument] if the name is already
+    registered with a different kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val histogram : t -> string -> buckets:int list -> histogram
+(** [buckets] are strictly increasing inclusive upper bounds; one implicit
+    overflow bucket is added. Get-or-create: re-requesting an existing
+    histogram ignores [buckets]. *)
+
+val observe : histogram -> int -> unit
+
+val latency_buckets : int list
+(** Default tick-latency bucket bounds: 1, 3, 10, ... 30000. *)
+
+val depth_buckets : int list
+(** Default queue-depth bucket bounds: 0, 1, 2, 4, ... 1024. *)
+
+val to_json : t -> Json.t
+(** Deterministic snapshot: [{"counters":{...},"gauges":{...},
+    "histograms":{name -> {"buckets":[{"le":b,"count":n}...,
+    {"le":"inf","count":n}],"count":N,"sum":S,"min":m,"max":M}}}] with all
+    names sorted. Empty histograms have [min]/[max] null. *)

@@ -1,0 +1,96 @@
+let schema_version = "dinersim-report/1"
+
+type check = { name : string; holds : bool; detail : string }
+
+let check ?(detail = "") name holds = { name; holds; detail }
+
+let of_verdict name (v : Detectors.Properties.verdict) =
+  {
+    name;
+    holds = v.Detectors.Properties.holds;
+    detail = String.concat "; " v.Detectors.Properties.details;
+  }
+
+let check_json c =
+  Json.Obj
+    [ ("name", Json.Str c.name); ("holds", Json.Bool c.holds); ("detail", Json.Str c.detail) ]
+
+let make ~cmd ?seed ?horizon ?(config = []) ?metrics ?(checks = []) ?wall () =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("cmd", Json.Str cmd);
+      ("seed", match seed with Some s -> Json.Int (Int64.to_int s) | None -> Json.Null);
+      ("horizon", match horizon with Some h -> Json.Int h | None -> Json.Null);
+      ("config", Json.Obj config);
+      ("checks", Json.Arr (List.map check_json checks));
+      ( "metrics",
+        match metrics with Some m -> Metrics.to_json m | None -> Json.Obj [] );
+      ("wall_clock", Option.value ~default:Json.Null wall);
+    ]
+
+let write ~path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string_pretty j))
+
+let validate j =
+  (match Json.find j "schema" with
+  | Some (Json.Str s) when s = schema_version -> ()
+  | Some (Json.Str s) -> failwith (Printf.sprintf "Report.read: unknown schema %S" s)
+  | _ -> failwith "Report.read: missing schema tag");
+  (match Json.find j "cmd" with
+  | Some (Json.Str _) -> ()
+  | _ -> failwith "Report.read: missing cmd");
+  match Json.find j "checks" with
+  | Some (Json.Arr checks) ->
+      List.iter
+        (fun c ->
+          match (Json.find c "name", Json.find c "holds") with
+          | Some (Json.Str _), Some (Json.Bool _) -> ()
+          | _ -> failwith "Report.read: malformed check entry")
+        checks
+  | _ -> failwith "Report.read: missing checks array"
+
+let read ~path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let j = Json.of_string content in
+  validate j;
+  j
+
+let passed j =
+  match Json.find j "checks" with
+  | Some (Json.Arr checks) ->
+      List.for_all (fun c -> match Json.find c "holds" with Some (Json.Bool b) -> b | _ -> false) checks
+  | _ -> false
+
+let strip_wall_clock = function
+  | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "wall_clock") fields)
+  | j -> j
+
+let pp_summary fmt j =
+  let field k = match Json.find j k with Some v -> v | None -> Json.Null in
+  Format.fprintf fmt "report: cmd=%s seed=%s horizon=%s@."
+    (match field "cmd" with Json.Str s -> s | _ -> "?")
+    (match field "seed" with Json.Int n -> string_of_int n | _ -> "-")
+    (match field "horizon" with Json.Int n -> string_of_int n | _ -> "-");
+  (match field "checks" with
+  | Json.Arr [] -> Format.fprintf fmt "  (no checks)@."
+  | Json.Arr checks ->
+      List.iter
+        (fun c ->
+          let name = match Json.find c "name" with Some (Json.Str s) -> s | _ -> "?" in
+          let holds = match Json.find c "holds" with Some (Json.Bool b) -> b | _ -> false in
+          let detail = match Json.find c "detail" with Some (Json.Str s) -> s | _ -> "" in
+          Format.fprintf fmt "  %-34s %s%s@." name
+            (if holds then "ok" else "FAIL")
+            (if detail = "" then "" else " — " ^ detail))
+        checks
+  | _ -> ());
+  Format.fprintf fmt "  all checks: %s@." (if passed j then "ok" else "FAIL")

@@ -1,0 +1,57 @@
+(** Machine-readable run reports.
+
+    One JSON document per run, schema ["dinersim-report/1"]:
+
+    {v
+    {
+      "schema":  "dinersim-report/1",
+      "cmd":     "dining",               // subcommand / experiment name
+      "seed":    7,                      // null when not seed-driven
+      "horizon": 12000,                  // null when open-ended
+      "config":  { ... },                // free-form, flat, deterministic
+      "checks":  [ {"name":..., "holds":..., "detail":...} ],
+      "metrics": { ... },                // Metrics.to_json snapshot
+      "wall_clock": { ... }              // the only nondeterministic field
+    }
+    v}
+
+    Everything except ["wall_clock"] is deterministic in the seed, so two
+    reports from identical runs are byte-identical once that one key is
+    dropped ({!strip_wall_clock}). *)
+
+val schema_version : string
+
+type check = { name : string; holds : bool; detail : string }
+
+val check : ?detail:string -> string -> bool -> check
+
+val of_verdict : string -> Detectors.Properties.verdict -> check
+(** Lift a property-checker verdict into a report check. *)
+
+val make :
+  cmd:string ->
+  ?seed:int64 ->
+  ?horizon:int ->
+  ?config:(string * Json.t) list ->
+  ?metrics:Metrics.t ->
+  ?checks:check list ->
+  ?wall:Json.t ->
+  unit ->
+  Json.t
+
+val write : path:string -> Json.t -> unit
+(** Pretty-printed with a trailing newline. *)
+
+val read : path:string -> Json.t
+(** Parse and validate: correct schema tag, [cmd] string, well-formed
+    [checks] array. Raises [Failure] with a reason on invalid input. *)
+
+val passed : Json.t -> bool
+(** True iff every check holds. *)
+
+val strip_wall_clock : Json.t -> Json.t
+(** Drop the ["wall_clock"] field — the deterministic residue used to
+    compare reports across runs. *)
+
+val pp_summary : Format.formatter -> Json.t -> unit
+(** Short human rendering: cmd, seed, pass/fail per check. *)

@@ -1,8 +1,13 @@
 (* Offline stress sweeps: dining algorithms x topologies x adversaries x
    fault patterns, hundreds of configurations per invocation.
 
-     dune exec stress/sweep.exe -- wf      # the WF-◇WX box (648 configs)
-     dune exec stress/sweep.exe -- kfair   # the k-fair scheduler
+     dune exec stress/sweep.exe -- wf                # 648 configs
+     dune exec stress/sweep.exe -- kfair /tmp/k.json # custom report path
+
+   Each configuration's verdicts are recorded as one entry of a
+   machine-readable JSON report (default STRESS_<algo>.json in the
+   current directory, schema "dinersim-stress/1"); failures are still
+   echoed to stderr as they happen.
 
    These grids found three real bugs during development (an FTME
    double-grant and a recovery deadlock from stale releases, and a kfair
@@ -34,8 +39,12 @@ let aname = function
   | `Bursty g -> Printf.sprintf "bursty:%d" g
 
 let () =
-  let algo = try Sys.argv.(1) with _ -> "wf" in
+  let algo = if Array.length Sys.argv > 1 then Sys.argv.(1) else "wf" in
+  let report_path =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else Printf.sprintf "STRESS_%s.json" algo
+  in
   let fails = ref 0 and runs = ref 0 in
+  let configs = ref [] in
   List.iter (fun gspec ->
     List.iter (fun adv ->
       List.iter (fun ncrash ->
@@ -62,9 +71,22 @@ let () =
           let trace = Engine.trace engine in
           let wf = Dining.Monitor.wait_freedom trace ~instance:"dx" ~n ~horizon:14000 ~slack:4500 in
           let wx = Dining.Monitor.eventual_weak_exclusion trace ~instance:"dx" ~graph ~horizon:14000 ~suffix_from:8000 in
-          if not (wf.Detectors.Properties.holds && wx.Detectors.Properties.holds) then begin
+          let ok = wf.Detectors.Properties.holds && wx.Detectors.Properties.holds in
+          configs :=
+            Obs.Json.Obj
+              [
+                ("graph", Obs.Json.Str (gname gspec));
+                ("adversary", Obs.Json.Str (aname adv));
+                ("crashes", Obs.Json.Int ncrash);
+                ("seed", Obs.Json.Int (Int64.to_int seed));
+                ("wait_freedom", Obs.Json.Bool wf.Detectors.Properties.holds);
+                ("eventual_weak_exclusion", Obs.Json.Bool wx.Detectors.Properties.holds);
+                ("pass", Obs.Json.Bool ok);
+              ]
+            :: !configs;
+          if not ok then begin
             incr fails;
-            Printf.printf "FAIL algo=%s g=%s adv=%s crashes=%d seed=%Ld wf=%b wx=%b\n%!"
+            Printf.eprintf "FAIL algo=%s g=%s adv=%s crashes=%d seed=%Ld wf=%b wx=%b\n%!"
               algo (gname gspec) (aname adv) ncrash seed
               wf.Detectors.Properties.holds wx.Detectors.Properties.holds
           end)
@@ -72,4 +94,19 @@ let () =
         [ 0; 1; 2 ])
       [ `Async; `Partial 300; `Bursty 800 ])
     [ `Ring 5; `Clique 5; `Star 6; `Path 6; `Rand 6; `Rand 7 ];
-  Printf.printf "algo=%s runs=%d failures=%d\n" algo !runs !fails
+  let j =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "dinersim-stress/1");
+        ("algo", Obs.Json.Str algo);
+        ("runs", Obs.Json.Int !runs);
+        ("failures", Obs.Json.Int !fails);
+        ("configs", Obs.Json.Arr (List.rev !configs));
+      ]
+  in
+  let oc = open_out report_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string_pretty j));
+  Printf.printf "algo=%s runs=%d failures=%d report=%s\n" algo !runs !fails report_path;
+  if !fails > 0 then exit 1

@@ -380,6 +380,22 @@ let test_trace_csv () =
   Alcotest.(check string) "suspect row" "5,suspect,d,0,1," (List.nth lines 2);
   Alcotest.(check string) "crash row" "9,crash,,1,," (List.nth lines 3)
 
+let test_trace_csv_escaping () =
+  (* RFC 4180: fields containing commas, quotes, or line breaks must be
+     quoted, with embedded quotes doubled. Regression for note payloads
+     like grant reasons that quote peer state. *)
+  let tr = Trace.create () in
+  Trace.append tr ~at:1 (Trace.Note { pid = 0; label = "weird,label"; info = "say \", \nboth" });
+  Trace.append tr ~at:2
+    (Trace.Transition { instance = "inst\"q"; pid = 1; from_ = Types.Hungry; to_ = Types.Eating });
+  let csv = Trace.to_csv tr in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check string) "note row quotes label and info"
+    "1,note,\"weird,label\",0,,\"say \"\", " (List.nth lines 1);
+  Alcotest.(check string) "embedded newline continues the field" "both\"" (List.nth lines 2);
+  Alcotest.(check string) "quoted scope with doubled quote"
+    "2,transition,\"inst\"\"q\",1,,hungry->eating" (List.nth lines 3)
+
 (* ------------------------------------------------------------------ *)
 (* Conflict graphs *)
 
@@ -466,6 +482,7 @@ let () =
           Alcotest.test_case "suspicion history" `Quick test_trace_suspicion_history;
           Alcotest.test_case "crash times" `Quick test_trace_crash_times;
           Alcotest.test_case "csv export" `Quick test_trace_csv;
+          Alcotest.test_case "csv escaping" `Quick test_trace_csv_escaping;
           Alcotest.test_case "handicap adversary" `Quick test_adversary_handicap;
         ] );
       ( "graphs",

@@ -1,0 +1,292 @@
+(* Unit tests for the observability layer (lib/obs): JSON codec, trace
+   sinks, metrics registry, engine instrumentation, run reports. *)
+
+open Dsim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let j =
+    Obs.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bool", Bool true);
+          ("int", Int (-42));
+          ("float", Float 1.5);
+          ("str", Str "quote\" slash\\ newline\n tab\t ctrl\001 unicode\xc3\xa9");
+          ("arr", Arr [ Int 1; Str "two"; Obj [ ("k", Bool false) ] ]);
+          ("empty_arr", Arr []);
+          ("empty_obj", Obj []);
+        ])
+  in
+  let s = Obs.Json.to_string j in
+  check "compact parses back" true (Obs.Json.of_string s = j);
+  let p = Obs.Json.to_string_pretty j in
+  check "pretty parses back" true (Obs.Json.of_string p = j)
+
+let test_json_numbers () =
+  check "int stays int" true (Obs.Json.of_string "17" = Obs.Json.Int 17);
+  check "negative int" true (Obs.Json.of_string "-3" = Obs.Json.Int (-3));
+  check "decimal is float" true (Obs.Json.of_string "1.25" = Obs.Json.Float 1.25);
+  check "exponent is float" true (Obs.Json.of_string "2e3" = Obs.Json.Float 2000.0)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | _ -> Alcotest.failf "accepted %S" s
+      | exception Failure _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "{\"a\":1,}" ]
+
+let test_json_accessors () =
+  let j = Obs.Json.of_string {|{"a":1,"b":"x","c":[true],"d":{"e":2}}|} in
+  check_int "int" 1 Obs.Json.(int (get j "a"));
+  check_str "str" "x" Obs.Json.(str (get j "b"));
+  check "arr" true Obs.Json.(arr (get j "c") = [ Bool true ]);
+  check "find missing" true (Obs.Json.find j "zzz" = None);
+  check "find non-obj" true (Obs.Json.find (Obs.Json.Int 3) "k" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let seeded_dining_run ?(retain_trace = true) ?(horizon = 5000) ?(sink = None) () =
+  let graph = Graphs.Conflict_graph.ring ~n:5 in
+  let n = Graphs.Conflict_graph.n graph in
+  let engine =
+    Engine.create ~seed:41L ~retain_trace ~n ~adversary:(Adversary.partial_sync ~gst:400 ()) ()
+  in
+  (match sink with Some s -> Obs.Sink.attach (Engine.trace engine) s | None -> ());
+  let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp, handle, _ =
+      Dining.Wf_ewx.component ctx ~instance:"dx" ~graph ~suspects:(suspects pid) ()
+    in
+    Engine.register engine pid comp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ())
+  done;
+  Engine.schedule_crash engine 4 ~at:2000;
+  Engine.run engine ~until:horizon;
+  engine
+
+let test_entry_json_roundtrip () =
+  let entries =
+    [
+      { Trace.at = 1;
+        ev = Trace.Transition { instance = "i,\"x"; pid = 0; from_ = Types.Thinking; to_ = Types.Hungry } };
+      { Trace.at = 2; ev = Trace.Suspect { detector = "d"; owner = 0; target = 1 } };
+      { Trace.at = 3; ev = Trace.Trust { detector = "d"; owner = 1; target = 0 } };
+      { Trace.at = 4; ev = Trace.Crash { pid = 2 } };
+      { Trace.at = 5; ev = Trace.Note { pid = 0; label = "l"; info = "line1\nline2\"q" } };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let j = Obs.Sink.entry_to_json e in
+      let e' = Obs.Sink.entry_of_json (Obs.Json.of_string (Obs.Json.to_string j)) in
+      check "entry survives json round-trip" true (e = e'))
+    entries
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "obs_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Obs.Sink.jsonl_file path in
+      let engine = seeded_dining_run ~sink:(Some sink) () in
+      sink.Obs.Sink.close ();
+      let mem = Trace.entries (Engine.trace engine) in
+      let streamed = Trace.entries (Obs.Sink.read_jsonl path) in
+      check "trace is non-trivial" true (List.length mem > 100);
+      check_int "same number of entries" (List.length mem) (List.length streamed);
+      check "identical entries" true (mem = streamed))
+
+let test_streaming_without_retention () =
+  (* The memory-free mode of very long runs: retain_trace:false keeps the
+     in-memory buffer empty while the sink still sees every event — and
+     on a seeded 100k-tick run the streamed file equals, entry for entry,
+     the in-memory trace of an identical retained run. *)
+  let horizon = 100_000 in
+  let path = Filename.temp_file "obs_stream" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Obs.Sink.jsonl_file path in
+      let streaming = seeded_dining_run ~retain_trace:false ~horizon ~sink:(Some sink) () in
+      sink.Obs.Sink.close ();
+      check_int "in-memory buffer stays empty" 0 (Trace.length (Engine.trace streaming));
+      let retained = seeded_dining_run ~horizon () in
+      let mem = Trace.entries (Engine.trace retained) in
+      check "trace spans the full horizon" true
+        (List.exists (fun e -> e.Trace.at > horizon - 1000) mem);
+      check "streamed file = retained trace of the identical run" true
+        (Trace.entries (Obs.Sink.read_jsonl path) = mem))
+
+let test_tee_and_memory_sinks () =
+  let mem_sink, tr = Obs.Sink.memory () in
+  let tee = Obs.Sink.tee [ Obs.Sink.null; mem_sink ] in
+  let e = { Trace.at = 7; ev = Trace.Crash { pid = 0 } } in
+  tee.Obs.Sink.emit e;
+  tee.Obs.Sink.close ();
+  check "tee forwarded to memory sink" true (Trace.entries tr = [ e ])
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_registry () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "c" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  check_int "counter" 5 (Obs.Metrics.counter_value c);
+  check_int "counter is get-or-create" 5
+    (Obs.Metrics.counter_value (Obs.Metrics.counter m "c"));
+  let g = Obs.Metrics.gauge m "g" in
+  Obs.Metrics.set g 9;
+  check_int "gauge" 9 (Obs.Metrics.gauge_value g);
+  (try
+     ignore (Obs.Metrics.gauge m "c");
+     Alcotest.fail "kind clash accepted"
+   with Invalid_argument _ -> ());
+  let h = Obs.Metrics.histogram m "h" ~buckets:[ 10; 100 ] in
+  List.iter (Obs.Metrics.observe h) [ 0; 10; 11; 1000 ];
+  let j = Obs.Metrics.to_json m in
+  let hist = Obs.Json.(get (get j "histograms") "h") in
+  check_int "count" 4 Obs.Json.(int (get hist "count"));
+  check_int "sum" 1021 Obs.Json.(int (get hist "sum"));
+  check_int "min" 0 Obs.Json.(int (get hist "min"));
+  check_int "max" 1000 Obs.Json.(int (get hist "max"));
+  let counts =
+    List.map (fun b -> Obs.Json.(int (get b "count"))) Obs.Json.(arr (get hist "buckets"))
+  in
+  Alcotest.(check (list int)) "bucket placement" [ 2; 1; 1 ] counts
+
+let test_metrics_determinism () =
+  let snapshot () =
+    let m = Obs.Metrics.create () in
+    let graph = Graphs.Conflict_graph.ring ~n:5 in
+    let engine =
+      Engine.create ~seed:23L ~n:5 ~adversary:(Adversary.partial_sync ~gst:400 ()) ()
+    in
+    let inst = Obs.Instrument.install ~metrics:m engine in
+    let suspects = Core.Scenario.evp_suspects engine ~n:5 ~windows:[] in
+    for pid = 0 to 4 do
+      let ctx = Engine.ctx engine pid in
+      let comp, handle, _ =
+        Dining.Wf_ewx.component ctx ~instance:"dx" ~graph ~suspects:(suspects pid) ()
+      in
+      Engine.register engine pid comp;
+      Engine.register engine pid (Dining.Clients.greedy ctx ~handle ())
+    done;
+    Engine.schedule_crash engine 4 ~at:1500;
+    Engine.run engine ~until:4000;
+    Obs.Instrument.finalize inst;
+    Obs.Json.to_string (Obs.Metrics.to_json m)
+  in
+  let a = snapshot () and b = snapshot () in
+  check_str "same seed, byte-identical metrics" a b;
+  let j = Obs.Json.of_string a in
+  let counters = Obs.Json.get j "counters" in
+  check_int "ticks counted" 4000 Obs.Json.(int (get counters "engine.ticks"));
+  check_int "crash counted" 1 Obs.Json.(int (get counters "engine.crashes"));
+  check "meals counted" true Obs.Json.(int (get counters "dining.dx.meals") > 0);
+  let gauges = Obs.Json.get j "gauges" in
+  check_int "live procs final" 4 Obs.Json.(int (get gauges "engine.live_procs"));
+  check "sent total recorded" true Obs.Json.(int (get gauges "engine.sent_total") > 0);
+  let hist = Obs.Json.(get (get j "histograms") "dining.dx.hunger_latency") in
+  check "hunger sessions observed" true Obs.Json.(int (get hist "count") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+let test_report_schema_roundtrip () =
+  let path = Filename.temp_file "obs_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = Obs.Metrics.create () in
+      Obs.Metrics.incr (Obs.Metrics.counter m "events");
+      let j =
+        Obs.Report.make ~cmd:"dining" ~seed:7L ~horizon:12000
+          ~config:[ ("algo", Obs.Json.Str "wf") ]
+          ~metrics:m
+          ~checks:
+            [
+              Obs.Report.check "wait_freedom" true;
+              Obs.Report.check ~detail:"2 violations" "exclusion" false;
+            ]
+          ~wall:(Obs.Json.Obj [ ("elapsed_s", Obs.Json.Float 0.5) ])
+          ()
+      in
+      Obs.Report.write ~path j;
+      let j' = Obs.Report.read ~path in
+      check "write/read identity" true (j = j');
+      check_str "schema tag" Obs.Report.schema_version Obs.Json.(str (get j' "schema"));
+      check_str "cmd" "dining" Obs.Json.(str (get j' "cmd"));
+      check_int "seed" 7 Obs.Json.(int (get j' "seed"));
+      check "one failing check => not passed" false (Obs.Report.passed j');
+      check "wall_clock stripped" true
+        (Obs.Json.find (Obs.Report.strip_wall_clock j') "wall_clock" = None);
+      check "metrics embedded" true
+        Obs.Json.(int (get (get (get j' "metrics") "counters") "events") = 1))
+
+let test_report_rejects_invalid () =
+  let path = Filename.temp_file "obs_bad" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let write s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      List.iter
+        (fun s ->
+          write s;
+          match Obs.Report.read ~path with
+          | _ -> Alcotest.failf "accepted %S" s
+          | exception Failure _ -> ())
+        [
+          "not json";
+          "{}";
+          {|{"schema":"other/9","cmd":"x","checks":[]}|};
+          {|{"schema":"dinersim-report/1","checks":[]}|};
+          {|{"schema":"dinersim-report/1","cmd":"x"}|};
+          {|{"schema":"dinersim-report/1","cmd":"x","checks":[{"name":"y"}]}|};
+        ])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "entry json roundtrip" `Quick test_entry_json_roundtrip;
+          Alcotest.test_case "jsonl roundtrip on seeded run" `Quick test_jsonl_sink_roundtrip;
+          Alcotest.test_case "streaming without retention" `Quick
+            test_streaming_without_retention;
+          Alcotest.test_case "tee and memory" `Quick test_tee_and_memory_sinks;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "determinism on seeded run" `Quick test_metrics_determinism;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "schema roundtrip" `Quick test_report_schema_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick test_report_rejects_invalid;
+        ] );
+    ]
