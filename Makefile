@@ -1,8 +1,9 @@
 # Developer entry points. `make check` is the pre-merge gate: format
-# (when ocamlformat is installed), build, full test suite, and a
-# 10k-tick end-to-end smoke that a run report is written and parses.
+# (when ocamlformat is installed), build, full test suite, the simlint
+# determinism gate, and a 10k-tick end-to-end smoke that a run report is
+# written and parses.
 
-.PHONY: all build test fmt check smoke clean
+.PHONY: all build test fmt lint check smoke clean
 
 all: build
 
@@ -19,11 +20,17 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
+# Determinism & simulation-hygiene gate (rules D001-D005; see DESIGN.md).
+# Exits non-zero on any finding that is neither suppressed in-source nor
+# listed in tools/simlint/baseline.json.
+lint: build
+	dune exec tools/simlint/main.exe -- --root .
+
 smoke: build
 	dune exec bin/dinersim.exe -- extract --horizon 10000 --report /tmp/dinersim-smoke.json
 	dune exec bin/dinersim.exe -- report /tmp/dinersim-smoke.json
 
-check: fmt build test smoke
+check: fmt build test lint smoke
 	@echo "check: OK"
 
 clean:

@@ -76,21 +76,21 @@ let run () =
       (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
       Toolkit.Instance.monotonic_clock raw
   in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
-      let est =
-        match Analyze.OLS.estimates ols with
-        | Some (t :: _) -> Printf.sprintf "%.1f" t
-        | Some [] | None -> "-"
-      in
-      let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
-      in
-      rows := [ name; est; r2 ] :: !rows)
-    results;
-  Util.table
-    ~header:[ "benchmark"; "ns/run (OLS)"; "r²" ]
-    (List.sort compare !rows)
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.1f" t
+          | Some [] | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Util.table ~header:[ "benchmark"; "ns/run (OLS)"; "r²" ] rows

@@ -99,23 +99,29 @@ let create (ctx : Context.t) ?(tag = "consensus") ~members ~suspects () =
         stage := Idle;
         incr round)
   in
+  (* Coordinator bookkeeping lives in a hash table, but everything the
+     actions *do* with it walks rounds in ascending key order: emission
+     order of Cs_propose/Cs_decide must be a function of the protocol state,
+     never of the table's hash layout. *)
+  let sorted_rounds () =
+    Hashtbl.fold (fun r cr acc -> (r, cr) :: acc) rounds []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let ready_to_propose (r, cr) =
+    coord r = self && cr.proposed = None && List.length cr.estimates >= majority
+  in
+  let ready_to_decide (r, cr) =
+    coord r = self && cr.proposed <> None && cr.positive_acks >= majority
+  in
   (* Phase 2 (coordinator): propose the highest-timestamp estimate once a
      majority reported. *)
   let coordinate =
     Component.action "cs-coordinate"
-      ~guard:(fun () ->
-        !decided = None
-        && Hashtbl.fold
-             (fun r cr acc ->
-               acc
-               || (coord r = self && cr.proposed = None
-                  && List.length cr.estimates >= majority))
-             rounds false)
+      ~guard:(fun () -> !decided = None && List.exists ready_to_propose (sorted_rounds ()))
       ~body:(fun () ->
-        Hashtbl.iter
-          (fun r cr ->
-            if coord r = self && cr.proposed = None && List.length cr.estimates >= majority
-            then begin
+        List.iter
+          (fun ((r, cr) as rc) ->
+            if ready_to_propose rc then begin
               let v, _ =
                 List.fold_left
                   (fun (bv, bt) (v, t) -> if t > bt then (v, t) else (bv, bt))
@@ -124,23 +130,18 @@ let create (ctx : Context.t) ?(tag = "consensus") ~members ~suspects () =
               cr.proposed <- Some v;
               bcast (Cs_propose { round = r; v })
             end)
-          rounds)
+          (sorted_rounds ()))
   in
   (* Phase 4 (coordinator): a majority of positive acks decides. *)
   let conclude =
     Component.action "cs-conclude"
-      ~guard:(fun () ->
-        !decided = None
-        && Hashtbl.fold
-             (fun r cr acc ->
-               acc || (coord r = self && cr.proposed <> None && cr.positive_acks >= majority))
-             rounds false)
+      ~guard:(fun () -> !decided = None && List.exists ready_to_decide (sorted_rounds ()))
       ~body:(fun () ->
-        Hashtbl.iter
-          (fun r cr ->
-            if coord r = self && cr.positive_acks >= majority then
+        List.iter
+          (fun ((_, cr) as rc) ->
+            if ready_to_decide rc then
               match cr.proposed with Some v -> decide v | None -> ())
-          rounds)
+          (sorted_rounds ()))
   in
   (* Reliable broadcast of the decision: forward it once. *)
   let spread_decision =

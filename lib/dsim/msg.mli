@@ -1,0 +1,10 @@
+(** Extensible message type.
+
+    Every protocol layer adds its own constructors with [type t += ...]; the
+    engine routes messages opaquely by destination pid and component tag, so
+    it never needs to inspect payloads. *)
+
+type t = ..
+
+(** A tiny built-in payload used by tests and examples. *)
+type t += Unit_msg | Int_msg of int | Str_msg of string

@@ -1,0 +1,9 @@
+(** Messages of the reduction's ping/ack protocol.
+
+    The integer is the dining-instance index [i] of the sending thread
+    (DX_0 or DX_1); routing to the right pair is by component tag. *)
+
+type Dsim.Msg.t +=
+  | Ping of int  (** subject q.s_i -> witness p.w_i *)
+  | Ack of int  (** witness p.w_i -> subject q.s_i *)
+  | Heartbeat_cm  (** q -> p in the flawed contention-manager construction *)

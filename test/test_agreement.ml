@@ -108,6 +108,26 @@ let test_consensus_seed_sweep () =
         instances)
     [ 301; 302; 303; 304; 305; 306 ]
 
+let test_consensus_trace_pinned () =
+  (* Regression for the Hashtbl-order bug class (simlint D003): coordinator
+     actions iterate rounds in sorted key order, so Cs_propose/Cs_decide
+     emission order is a function of protocol state only. Two runs from one
+     seed must be bit-identical, and the digest is pinned so a reintroduced
+     order dependence that happens to be stable within one binary still
+     shows up as a diff when the table layout shifts. *)
+  let run () =
+    let engine, _ =
+      consensus_run ~seed:77L ~n:5 ~inputs:[ 3; 1; 4; 1; 5 ] ~crash:[ (0, 50) ]
+        ~horizon:10000 ()
+    in
+    Trace.to_csv (Engine.trace engine)
+  in
+  let a = run () in
+  check "replay is bit-identical" true (a = run ());
+  Alcotest.(check string)
+    "pinned trace digest for seed 77" "4dac5952070e79639dd065e2cff5276f"
+    (Digest.to_hex (Digest.string a))
+
 (* ------------------------------------------------------------------ *)
 (* Leader election *)
 
@@ -234,6 +254,8 @@ let () =
             test_consensus_survives_detector_mistakes;
           Alcotest.test_case "validity (unanimous)" `Quick test_consensus_validity_unanimous;
           Alcotest.test_case "seed sweep" `Slow test_consensus_seed_sweep;
+          Alcotest.test_case "pinned trace (D003 regression)" `Quick
+            test_consensus_trace_pinned;
         ] );
       ( "leader",
         [

@@ -1,0 +1,167 @@
+(* Tests for the simlint determinism & simulation-hygiene linter, driving it
+   as a library against the fixture corpus under tools/simlint/fixtures/.
+
+   The fixtures are declared as test dependencies, so they are materialised
+   under _build next to the test's working directory. *)
+
+open Simlint
+
+let check = Alcotest.(check bool)
+
+(* cwd at runtime is _build/default/test. Under `dune runtest` the declared
+   fixture deps are materialised at ../tools/simlint; under a bare
+   `dune exec` they are not, so fall back to walking up to the source tree
+   (whose root is three levels above the build dir). *)
+let fixtures_root =
+  let rec find base = function
+    | 0 -> Alcotest.fail "tools/simlint/fixtures not found from cwd"
+    | n ->
+        let candidate = Filename.concat base "tools/simlint" in
+        if Sys.file_exists (Filename.concat candidate "fixtures") then candidate
+        else find (Filename.concat base "..") (n - 1)
+  in
+  find "." 7
+
+let run_fixtures ?baseline () =
+  Driver.run ?baseline ~dirs:[ "fixtures" ] ~force_lib:true ~root:fixtures_root ()
+
+let triple (f : Finding.t) = (f.Finding.rule, f.Finding.file, f.Finding.line)
+let opens result = List.map (fun (f, _) -> triple f) (Driver.open_findings result)
+
+let in_file file result =
+  List.filter (fun (_, f, _) -> f = "fixtures/" ^ file) (opens result)
+
+let rule_lines rule findings =
+  List.filter_map (fun (r, _, l) -> if r = rule then Some l else None) findings
+
+(* ------------------------------------------------------------------ *)
+
+let test_every_rule_fires () =
+  let result = run_fixtures () in
+  let rules = List.sort_uniq compare (List.map (fun (r, _, _) -> r) (opens result)) in
+  List.iter
+    (fun rule -> check (rule ^ " fires on the corpus") true (List.mem rule rules))
+    [ "D001"; "D002"; "D003"; "D004"; "D005" ];
+  check "no parse failures in fixtures" false (List.mem "E000" rules)
+
+let test_corpus_fails_gate () =
+  check "fixture corpus has open findings" true (Driver.open_findings (run_fixtures ()) <> [])
+
+let test_d001_sites () =
+  let fs = in_file "d001_wallclock.ml" (run_fixtures ()) in
+  Alcotest.(check (list int))
+    "every wall-clock read flagged, including via Stdlib" [ 3; 4; 5; 6 ]
+    (List.sort compare (rule_lines "D001" fs))
+
+let test_d002_sites () =
+  let fs = in_file "d002_random.ml" (run_fixtures ()) in
+  Alcotest.(check int)
+    "Random.*, ~random:, randomize, open, alias all flagged" 6
+    (List.length (rule_lines "D002" fs))
+
+let test_d003_only_unsorted () =
+  let fs = in_file "d003_hashtbl_order.ml" (run_fixtures ()) in
+  Alcotest.(check (list int))
+    "iter and unsorted fold flagged; |>, direct and @@ sorts sanctioned" [ 7; 10 ]
+    (List.sort compare (rule_lines "D003" fs))
+
+let test_d004_sites () =
+  let fs = in_file "d004_unsafe.ml" (run_fixtures ()) in
+  Alcotest.(check (list int))
+    "Obj.magic, ==, != flagged in lib code" [ 3; 4; 5 ]
+    (List.sort compare (rule_lines "D004" fs))
+
+let test_d004_d005_lib_only () =
+  (* Without force_lib the fixture is ordinary tool/app code: the unsafe
+     constructs and the missing .mli are tolerated. *)
+  let findings, _ = Driver.lint_file ~root:fixtures_root ~rel:"fixtures/d004_unsafe.ml" () in
+  check "no D004 outside lib" true
+    (not (List.exists (fun (f : Finding.t) -> f.Finding.rule = "D004") findings));
+  check "no D005 outside lib" true
+    (not (List.exists (fun (f : Finding.t) -> f.Finding.rule = "D005") findings))
+
+let test_suppression_exact () =
+  let result = run_fixtures () in
+  (* The only open finding in suppressed.ml is the D002 whose comment names
+     the wrong rule id. *)
+  Alcotest.(check (list (triple string string int)))
+    "mis-named allow does not silence"
+    [ ("D002", "fixtures/suppressed.ml", 16) ]
+    (in_file "suppressed.ml" result);
+  let suppressed =
+    List.filter
+      (fun (f, s) -> s = Finding.Suppressed && f.Finding.file = "fixtures/suppressed.ml")
+      result.Driver.findings
+  in
+  Alcotest.(check int) "named rules silenced at their sites" 4 (List.length suppressed)
+
+let test_clean_fixture () =
+  Alcotest.(check (list (triple string string int)))
+    "compliant file yields nothing" []
+    (in_file "clean.ml" (run_fixtures ()))
+
+let test_baseline_grandfathers () =
+  let baseline =
+    [
+      { Baseline.file = "fixtures/d003_hashtbl_order.ml"; rule = "D003"; line = 7 };
+      { Baseline.file = "fixtures/gone.ml"; rule = "D001"; line = 1 };
+    ]
+  in
+  let plain = run_fixtures () in
+  let result = run_fixtures ~baseline () in
+  Alcotest.(check int)
+    "baselined finding no longer open"
+    (List.length (Driver.open_findings plain) - 1)
+    (List.length (Driver.open_findings result));
+  check "finding reported as baselined" true
+    (List.exists
+       (fun (f, s) -> s = Finding.Baselined && triple f = ("D003", "fixtures/d003_hashtbl_order.ml", 7))
+       result.Driver.findings);
+  Alcotest.(check int) "stale entry surfaced" 1 (List.length result.Driver.stale_baseline)
+
+let test_json_roundtrip () =
+  let result = run_fixtures () in
+  let j = Driver.to_json result in
+  let s = Obs.Json.to_string j in
+  let j' = Obs.Json.of_string s in
+  Alcotest.(check string) "canonical text is a fixpoint" s (Obs.Json.to_string j');
+  Alcotest.(check string)
+    "schema" "simlint-report/1"
+    (Obs.Json.str (Obs.Json.get j' "schema"));
+  Alcotest.(check int)
+    "finding count round-trips"
+    (List.length result.Driver.findings)
+    (List.length (Obs.Json.arr (Obs.Json.get j' "findings")))
+
+let test_suppress_parser () =
+  let t = Suppress.parse "let a = 1\n(* simlint: allow D001 D003 — why *)\nlet b = 2\n" in
+  check "covers own line" true (Suppress.covers t ~rule:"D001" ~line:2);
+  check "covers next line" true (Suppress.covers t ~rule:"D003" ~line:3);
+  check "does not cover later lines" false (Suppress.covers t ~rule:"D001" ~line:4);
+  check "does not cover other rules" false (Suppress.covers t ~rule:"D002" ~line:3);
+  check "no marker, no suppression" true (Suppress.parse "(* allow D001 *)" = [])
+
+let () =
+  Alcotest.run "simlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "every rule fires" `Quick test_every_rule_fires;
+          Alcotest.test_case "corpus fails the gate" `Quick test_corpus_fails_gate;
+          Alcotest.test_case "D001 wall clock" `Quick test_d001_sites;
+          Alcotest.test_case "D002 randomness" `Quick test_d002_sites;
+          Alcotest.test_case "D003 unsorted traversals only" `Quick test_d003_only_unsorted;
+          Alcotest.test_case "D004 unsafe constructs" `Quick test_d004_sites;
+          Alcotest.test_case "D004/D005 are lib-only" `Quick test_d004_d005_lib_only;
+        ] );
+      ( "dispositions",
+        [
+          Alcotest.test_case "suppression is per-site and per-rule" `Quick test_suppression_exact;
+          Alcotest.test_case "clean file stays clean" `Quick test_clean_fixture;
+          Alcotest.test_case "baseline grandfathers exactly once" `Quick
+            test_baseline_grandfathers;
+          Alcotest.test_case "suppress comment parser" `Quick test_suppress_parser;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "JSON round-trips through Obs.Json" `Quick test_json_roundtrip ] );
+    ]

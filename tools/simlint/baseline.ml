@@ -1,0 +1,41 @@
+(* Grandfathered findings.
+
+   The checked-in [tools/simlint/baseline.json] lists findings that predate
+   the gate. A finding matching an entry (same file, rule and line) is
+   reported as "baselined" and does not fail the build, so the gate can be
+   strict from day one while legacy debt is paid down. Each entry matches at
+   most one finding; stale entries are surfaced so the baseline can only
+   shrink. *)
+
+type entry = { file : string; rule : string; line : int }
+
+let schema = "simlint-baseline/1"
+
+let empty : entry list = []
+
+let of_json j =
+  let open Obs.Json in
+  (match find j "schema" with
+  | Some (Str s) when s = schema -> ()
+  | _ -> failwith ("baseline: expected schema " ^ schema));
+  arr (get j "findings")
+  |> List.map (fun e ->
+         { file = str (get e "file"); rule = str (get e "rule"); line = int (get e "line") })
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_json (Obs.Json.of_string text)
+
+(* Consume the first entry matching [f]; return the shrunk baseline on hit. *)
+let matches entries (f : Finding.t) =
+  let rec go acc = function
+    | [] -> None
+    | e :: tl when e.file = f.Finding.file && e.rule = f.Finding.rule && e.line = f.Finding.line
+      ->
+        Some (List.rev_append acc tl)
+    | e :: tl -> go (e :: acc) tl
+  in
+  go [] entries

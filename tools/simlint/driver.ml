@@ -1,0 +1,148 @@
+(* File discovery, rule dispatch, and finding disposition.
+
+   The driver walks the requested directories under a root, parses every .ml
+   with the compiler's own parser, runs [Rules], applies the file-set rule
+   D005 (lib module missing its .mli), then classifies each finding as open,
+   suppressed (a [simlint: allow] comment at the site) or baselined (listed
+   in baseline.json). Only open findings fail the gate. *)
+
+type result = {
+  findings : (Finding.t * Finding.status) list;  (** sorted, deterministic *)
+  files_scanned : int;
+  stale_baseline : Baseline.entry list;  (** entries that matched nothing *)
+}
+
+let schema = "simlint-report/1"
+let default_dirs = [ "lib"; "bin"; "bench"; "stress" ]
+
+(* D001 allowlist: the one module allowed to touch the wall clock. Matching
+   is on root-relative paths, normalised to '/'. *)
+let wallclock_allowlist = [ "lib/obs/instrument.ml" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_structure ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+(* Recursive listing of .ml files, relative to [root], sorted so two runs
+   visit files in the same order on any filesystem. *)
+let rec ml_files root rel =
+  let abs = Filename.concat root rel in
+  if Sys.is_directory abs then
+    Sys.readdir abs |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name ->
+           if name = "_build" || name = ".git" then []
+           else ml_files root (Filename.concat rel name))
+  else if Filename.check_suffix rel ".ml" then [ rel ]
+  else []
+
+let is_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
+
+let lint_file ?(force_lib = false) ~root ~rel () =
+  let path = Filename.concat root rel in
+  let text = read_file path in
+  let suppressions = Suppress.parse text in
+  let cfg =
+    {
+      Rules.file = rel;
+      lib = force_lib || is_lib rel;
+      wallclock_ok = List.mem rel wallclock_allowlist;
+    }
+  in
+  let ast_findings =
+    match parse_structure ~path:rel text with
+    | str -> Rules.run cfg str
+    | exception e ->
+        [
+          Finding.make ~rule:"E000" ~file:rel ~line:1 ~col:0
+            ~msg:("parse error: " ^ Printexc.to_string e);
+        ]
+  in
+  let d005 =
+    if
+      cfg.Rules.lib
+      && not (Sys.file_exists (Filename.concat root (Filename.remove_extension rel ^ ".mli")))
+    then
+      [
+        Finding.make ~rule:"D005" ~file:rel ~line:1 ~col:0
+          ~msg:"lib module has no .mli; interfaces pin the surface other layers may rely on";
+      ]
+    else []
+  in
+  (ast_findings @ d005, suppressions)
+
+let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false) ~root () =
+  let files =
+    dirs
+    |> List.concat_map (fun d ->
+           if Sys.file_exists (Filename.concat root d) then ml_files root d else [])
+  in
+  let remaining = ref baseline in
+  let classify suppressions (f : Finding.t) =
+    if Suppress.covers suppressions ~rule:f.Finding.rule ~line:f.Finding.line then
+      (f, Finding.Suppressed)
+    else
+      match Baseline.matches !remaining f with
+      | Some rest ->
+          remaining := rest;
+          (f, Finding.Baselined)
+      | None -> (f, Finding.Open)
+  in
+  let findings =
+    files
+    |> List.concat_map (fun rel ->
+           let fs, suppressions = lint_file ~force_lib ~root ~rel () in
+           List.map (classify suppressions) fs)
+    |> List.sort (fun (a, _) (b, _) -> Finding.compare a b)
+  in
+  { findings; files_scanned = List.length files; stale_baseline = !remaining }
+
+let count status t =
+  List.length (List.filter (fun (_, s) -> s = status) t.findings)
+
+let open_findings t = List.filter (fun (_, s) -> s = Finding.Open) t.findings
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str schema);
+      ("files_scanned", Obs.Json.Int t.files_scanned);
+      ("open", Obs.Json.Int (count Finding.Open t));
+      ("suppressed", Obs.Json.Int (count Finding.Suppressed t));
+      ("baselined", Obs.Json.Int (count Finding.Baselined t));
+      ("findings", Obs.Json.Arr (List.map Finding.to_json t.findings));
+      ( "stale_baseline",
+        Obs.Json.Arr
+          (List.map
+             (fun (e : Baseline.entry) ->
+               Obs.Json.Obj
+                 [
+                   ("file", Obs.Json.Str e.Baseline.file);
+                   ("rule", Obs.Json.Str e.Baseline.rule);
+                   ("line", Obs.Json.Int e.Baseline.line);
+                 ])
+             t.stale_baseline) );
+    ]
+
+let print_human ppf t =
+  List.iter
+    (fun (f, status) ->
+      match status with
+      | Finding.Open -> Format.fprintf ppf "%s@." (Finding.to_string f)
+      | Finding.Suppressed | Finding.Baselined ->
+          Format.fprintf ppf "%s [%s]@." (Finding.to_string f) (Finding.status_name status))
+    t.findings;
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Format.fprintf ppf "simlint: stale baseline entry %s %s:%d (fixed? remove it)@."
+        e.Baseline.rule e.Baseline.file e.Baseline.line)
+    t.stale_baseline;
+  Format.fprintf ppf "simlint: %d file(s), %d open, %d suppressed, %d baselined@."
+    t.files_scanned (count Finding.Open t) (count Finding.Suppressed t)
+    (count Finding.Baselined t)

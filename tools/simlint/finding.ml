@@ -1,0 +1,56 @@
+(* A single rule violation, plus its disposition after suppressions and the
+   baseline have been applied. Everything is plain data so the driver can
+   sort, dedupe and serialise without touching the AST again. *)
+
+type status = Open | Suppressed | Baselined
+
+type t = {
+  rule : string;  (** "D001" .. "D005", or "E000" for parse failures *)
+  file : string;  (** path relative to the lint root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler prints them *)
+  msg : string;
+}
+
+let make ~rule ~file ~line ~col ~msg = { rule; file; line; col; msg }
+
+let of_location ~rule ~file ~msg (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    msg;
+  }
+
+(* Deterministic report order: by position within a file, then by rule id so
+   two findings on one line always print the same way. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let status_name = function
+  | Open -> "open"
+  | Suppressed -> "suppressed"
+  | Baselined -> "baselined"
+
+let to_string t = Printf.sprintf "%s:%d:%d: %s %s" t.file t.line t.col t.rule t.msg
+
+let to_json (t, status) =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.Str t.rule);
+      ("file", Obs.Json.Str t.file);
+      ("line", Obs.Json.Int t.line);
+      ("col", Obs.Json.Int t.col);
+      ("msg", Obs.Json.Str t.msg);
+      ("status", Obs.Json.Str (status_name status));
+    ]

@@ -1,0 +1,10 @@
+(* simlint: allow D005 — fixture file, deliberately interface-free *)
+(* Fixture: compliant code — no other rule may fire. *)
+
+let tbl : (int, string) Hashtbl.t = Hashtbl.create 8
+
+let sorted_bindings () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let structural_eq a b = a = b
+let lookup k = Hashtbl.find_opt tbl k

@@ -1,0 +1,6 @@
+(* Fixture: D001 must fire on every wall-clock read outside Obs.Instrument. *)
+
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let epoch () = Unix.time ()
+let via_stdlib () = Stdlib.Sys.time ()

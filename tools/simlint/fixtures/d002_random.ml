@@ -1,0 +1,12 @@
+(* Fixture: D002 must fire on every route to ambient randomness. *)
+
+let draw () = Random.int 10
+let seeded () = Random.self_init ()
+let tbl () : (int, int) Hashtbl.t = Hashtbl.create ~random:true 8
+let () = Hashtbl.randomize ()
+
+open Random
+
+module R = Random
+
+let f () = R.bool ()

@@ -1,0 +1,20 @@
+(* Fixture: D003 fires on order-dependent Hashtbl traversals and stays
+   silent on traversals immediately piped through a sort. *)
+
+let tbl : (int, string) Hashtbl.t = Hashtbl.create 8
+
+(* violation: iter visits in hash order *)
+let bad_iter f = Hashtbl.iter f tbl
+
+(* violation: fold result escapes unsorted *)
+let bad_fold () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(* ok: fold piped straight into a sort *)
+let good_pipe () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* ok: sort applied directly *)
+let good_direct () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+(* ok: sort_uniq via @@ *)
+let good_at () = List.sort_uniq compare @@ Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

@@ -1,0 +1,5 @@
+(* Fixture: D004 (lib-only) fires on Obj.magic and physical equality. *)
+
+let cast (x : int) : string = Obj.magic x
+let same_box a b = a == b
+let diff_box a b = a != b

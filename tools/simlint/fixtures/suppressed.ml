@@ -1,0 +1,16 @@
+(* simlint: allow D005 — fixture file, deliberately interface-free *)
+(* Fixture: a [simlint: allow] comment silences exactly the named rule at
+   exactly that site. The D002 on the last line names the wrong rule in its
+   comment, so it must still fire. *)
+
+(* simlint: allow D001 — testing the suppression mechanism *)
+let now () = Unix.gettimeofday ()
+
+let both f tbl =
+  (* simlint: allow D001 — first id of a two-id comment *)
+  ignore (Unix.gettimeofday ());
+  (* simlint: allow D001 D003 — multiple ids on one comment *)
+  Hashtbl.iter f tbl
+
+(* simlint: allow D001 — wrong id: this one must NOT silence the D002 *)
+let r () = Random.bool ()

@@ -1,0 +1,57 @@
+(* simlint — determinism & simulation-hygiene linter.
+
+   Usage: simlint [--root DIR] [--baseline FILE] [--json] [--force-lib] [DIR ...]
+
+   Scans lib/ bin/ bench/ stress/ under the root by default. Exits 0 when no
+   open (non-suppressed, non-baselined) finding remains, 1 otherwise, 2 on
+   usage or I/O errors. [--json] prints the canonical simlint-report/1
+   document instead of human text. *)
+
+open Simlint
+
+let () =
+  let root = ref "." in
+  let baseline_path = ref "" in
+  let json = ref false in
+  let force_lib = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE baseline.json of grandfathered findings (default \
+         <root>/tools/simlint/baseline.json when present)" );
+      ("--json", Arg.Set json, " emit the canonical simlint-report/1 JSON document");
+      ( "--force-lib",
+        Arg.Set force_lib,
+        " apply lib-only rules (D004/D005) to every scanned file" );
+    ]
+  in
+  let usage = "simlint [--root DIR] [--baseline FILE] [--json] [DIR ...]" in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs = if !dirs = [] then Driver.default_dirs else List.rev !dirs in
+  let baseline =
+    let path =
+      if !baseline_path <> "" then Some !baseline_path
+      else
+        let default = Filename.concat !root "tools/simlint/baseline.json" in
+        if Sys.file_exists default then Some default else None
+    in
+    match path with
+    | None -> Baseline.empty
+    | Some p -> (
+        try Baseline.load p
+        with e ->
+          Printf.eprintf "simlint: cannot load baseline %s: %s\n" p (Printexc.to_string e);
+          exit 2)
+  in
+  let result =
+    try Driver.run ~baseline ~dirs ~force_lib:!force_lib ~root:!root ()
+    with e ->
+      Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  if !json then print_endline (Obs.Json.to_string (Driver.to_json result))
+  else Driver.print_human Format.std_formatter result;
+  exit (if Driver.open_findings result = [] then 0 else 1)
