@@ -3,7 +3,7 @@
 # determinism gate, and a 10k-tick end-to-end smoke that a run report is
 # written and parses.
 
-.PHONY: all build test fmt lint check smoke clean
+.PHONY: all build test fmt lint check smoke fuzz-smoke clean
 
 all: build
 
@@ -30,7 +30,15 @@ smoke: build
 	dune exec bin/dinersim.exe -- extract --horizon 10000 --report /tmp/dinersim-smoke.json
 	dune exec bin/dinersim.exe -- report /tmp/dinersim-smoke.json
 
-check: fmt build test lint smoke
+# Bounded schedule-fuzzing campaign over the real algorithms (fixed root
+# seed, so the exact same configs every time). Exits non-zero if any run
+# violates a dining property.
+fuzz-smoke: build
+	dune exec bin/dinersim.exe -- fuzz --runs 200 --seed 0xF5EED --max-horizon 6000 \
+		--report /tmp/dinersim-fuzz-smoke.json
+	dune exec bin/dinersim.exe -- report /tmp/dinersim-fuzz-smoke.json
+
+check: fmt build test lint smoke fuzz-smoke
 	@echo "check: OK"
 
 clean:

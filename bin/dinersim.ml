@@ -6,6 +6,8 @@
      vulnerability  replay the Section 3 scenario ([8] vs this paper)
      wsn            duty-cycle scheduling demo
      ctm            contention-manager boost demo
+     fuzz           randomized schedule-fuzzing campaign with shrinking
+     replay         re-execute fuzz-repro/1 artifacts and verify verdicts
 
    Every run is deterministic in --seed. *)
 
@@ -15,9 +17,17 @@ open Dsim
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsing *)
 
+(* Seed parsing is shared with stress/sweep.exe through Core.Cmdline, so
+   hex (0x2f00d) and decimal seeds are accepted uniformly and seeds echoed
+   by one tool are valid input to every other. *)
+let seed_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Core.Cmdline.parse_seed s) in
+  let print fmt s = Format.pp_print_string fmt (Core.Cmdline.seed_to_string s) in
+  Arg.conv (parse, print)
+
 let seed_t =
-  let doc = "PRNG seed (all runs are deterministic in the seed)." in
-  Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"INT" ~doc)
+  let doc = "PRNG seed, decimal or 0x-hex (all runs are deterministic in the seed)." in
+  Arg.(value & opt seed_conv 7L & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let horizon_t default =
   let doc = "Number of global-clock ticks to simulate." in
@@ -794,8 +804,9 @@ let certify_cmd =
 (* report — validate and summarise a run report *)
 
 let run_report path =
-  match Obs.Report.read ~path with
-  | j -> Format.printf "%a" Obs.Report.pp_summary j
+  match Obs.Report.read_any ~path with
+  | `Run j -> Format.printf "%a" Obs.Report.pp_summary j
+  | `Campaign j -> Format.printf "%a" Obs.Report.pp_campaign_summary j
   | exception Failure msg ->
       prerr_endline msg;
       exit 2
@@ -809,7 +820,181 @@ let report_cmd =
   in
   let term = Term.(const run_report $ path_t) in
   Cmd.v
-    (Cmd.info "report" ~doc:"Validate a JSON run report and print its check summary") term
+    (Cmd.info "report"
+       ~doc:"Validate a JSON run report or campaign summary and print its checks")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* fuzz — randomized schedule-fuzzing campaign with shrinking *)
+
+let ensure_dir path = if not (Sys.file_exists path) then Sys.mkdir path 0o755
+
+let families_of_strings = function
+  | [] -> Check.Config.all_families
+  | l ->
+      List.map
+        (fun s ->
+          match Check.Config.family_of_string s with
+          | Some f -> f
+          | None ->
+              Printf.eprintf "dinersim: unknown adversary family %S (sync|async|partial|bursty)\n" s;
+              exit 2)
+        l
+
+let run_fuzz seed runs max_repros max_horizon families algos out corpus report_path =
+  let registry = Check.Runner.default_registry in
+  let families = families_of_strings families in
+  let algos =
+    match algos with
+    | [] -> List.map fst registry
+    | l ->
+        List.iter
+          (fun a ->
+            if not (List.mem_assoc a registry) then begin
+              Printf.eprintf "dinersim: unknown algorithm %S (known: %s)\n" a
+                (String.concat ", " (List.map fst registry));
+              exit 2
+            end)
+          l;
+        l
+  in
+  let corpus_cb =
+    Option.map
+      (fun dir ->
+        io_or_die "corpus directory" (fun () -> ensure_dir dir);
+        fun idx (r : Check.Repro.t) ->
+          let path = Filename.concat dir (Printf.sprintf "run-%04d.json" idx) in
+          io_or_die "corpus artifact" (fun () -> Check.Repro.save ~path r))
+      corpus
+  in
+  let on_run idx c (o : Check.Runner.outcome) =
+    if o.Check.Runner.failed <> [] then
+      Printf.printf "run %04d VIOLATION [%s] %s\n%!" idx
+        (String.concat ", " o.Check.Runner.failed)
+        (Check.Config.describe c)
+  in
+  let result =
+    Check.Campaign.run ~runs ~max_repros ~max_horizon ~families ~algos ~on_run
+      ?corpus:corpus_cb ~registry ~root_seed:seed ()
+  in
+  List.iter
+    (fun (v : Check.Campaign.violation) ->
+      match v.Check.Campaign.repro with
+      | Some r ->
+          io_or_die "repro directory" (fun () -> ensure_dir out);
+          let digest = Check.Repro.digest r in
+          let path =
+            Filename.concat out
+              (Printf.sprintf "run%04d-%s.json" v.Check.Campaign.index (String.sub digest 0 12))
+          in
+          io_or_die "repro artifact" (fun () -> Check.Repro.save ~path r);
+          Printf.printf "  shrunk repro: %s\n    minimal: %s (digest %s)\n" path
+            (Check.Config.describe r.Check.Repro.config)
+            digest
+      | None -> ())
+    result.Check.Campaign.violations;
+  Printf.printf "fuzz: %d runs, %d violations (root seed %s)\n" result.Check.Campaign.runs
+    (List.length result.Check.Campaign.violations)
+    (Core.Cmdline.seed_to_string seed);
+  Option.iter
+    (fun path ->
+      io_or_die "report" (fun () ->
+          Obs.Report.write ~path (Check.Campaign.summary ~cmd:"fuzz" result));
+      Printf.printf "report written to %s\n" path)
+    report_path;
+  if result.Check.Campaign.violations <> [] then exit 1
+
+let fuzz_cmd =
+  let runs_t =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Number of fuzzed runs.")
+  in
+  let max_repros_t =
+    Arg.(
+      value & opt int 3
+      & info [ "max-repros" ] ~docv:"N" ~doc:"Shrink at most $(i,N) violations into artifacts.")
+  in
+  let max_horizon_t =
+    Arg.(
+      value & opt int 6000
+      & info [ "max-horizon" ] ~docv:"TICKS" ~doc:"Upper bound on generated run horizons.")
+  in
+  let families_t =
+    let doc = "Adversary families to draw from (comma-separated: sync,async,partial,bursty)." in
+    Arg.(value & opt (list string) [] & info [ "families" ] ~docv:"LIST" ~doc)
+  in
+  let algos_t =
+    let doc = "Algorithms to fuzz (comma-separated; default: every registered algorithm)." in
+    Arg.(value & opt (list string) [] & info [ "algos" ] ~docv:"LIST" ~doc)
+  in
+  let out_t =
+    Arg.(
+      value & opt string "fuzz-repro"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for shrunk repro artifacts.")
+  in
+  let corpus_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Also save a replayable artifact for every run.")
+  in
+  let term =
+    Term.(
+      const run_fuzz $ seed_t $ runs_t $ max_repros_t $ max_horizon_t $ families_t $ algos_t
+      $ out_t $ corpus_t $ report_t)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a property-based schedule-fuzzing campaign (deterministic in --seed); on a \
+          violation, shrink it to a minimal replayable artifact. Exits 1 if any run violated \
+          a dining property.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* replay — re-execute fuzz-repro artifacts *)
+
+let run_replay paths =
+  let registry = Check.Runner.default_registry in
+  let mismatched = ref false in
+  List.iter
+    (fun path ->
+      let r =
+        match Check.Repro.load ~path with
+        | r -> r
+        | exception Failure msg ->
+            Printf.eprintf "%s: %s\n" path msg;
+            exit 2
+        | exception Sys_error msg ->
+            prerr_endline msg;
+            exit 2
+      in
+      match Check.Repro.replay ~registry r with
+      | Ok (o : Check.Runner.outcome) ->
+          Printf.printf "%s: OK — %s; %d meals, %d events, verdicts match\n" path
+            (Check.Config.describe r.Check.Repro.config)
+            o.Check.Runner.meals o.Check.Runner.trace_events
+      | Error mismatches ->
+          mismatched := true;
+          Printf.printf "%s: VERDICT MISMATCH\n" path;
+          List.iter (fun m -> Printf.printf "  %s\n" m) mismatches
+      | exception Failure msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          exit 2)
+    paths;
+  if !mismatched then exit 1
+
+let replay_cmd =
+  let paths_t =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"fuzz-repro/1 artifacts to re-execute.")
+  in
+  let term = Term.(const run_replay $ paths_t) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute fuzz-repro/1 artifacts bit-identically and verify the recorded property \
+          verdicts. Exits 1 on a verdict mismatch, 2 on a malformed artifact.")
+    term
 
 (* ------------------------------------------------------------------ *)
 
@@ -819,7 +1004,7 @@ let main_cmd =
   Cmd.group info
     [
       extract_cmd; dining_cmd; vulnerability_cmd; wsn_cmd; ctm_cmd; agreement_cmd;
-      certify_cmd; report_cmd;
+      certify_cmd; report_cmd; fuzz_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

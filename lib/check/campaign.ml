@@ -1,0 +1,97 @@
+open Dsim
+
+type violation = {
+  index : int;
+  config : Config.t;
+  failed : string list;
+  repro : Repro.t option;
+}
+
+type t = {
+  root_seed : int64;
+  runs : int;
+  violations : violation list;
+  knobs : (string * Obs.Json.t) list;
+  entries : Obs.Json.t list;
+}
+
+let violation_entry v =
+  Obs.Json.Obj
+    ([
+       ("run", Obs.Json.Int v.index);
+       ("config", Config.to_json v.config);
+       ("failed", Obs.Json.Arr (List.map (fun s -> Obs.Json.Str s) v.failed));
+     ]
+    @
+    match v.repro with
+    | Some r ->
+        [
+          ( "repro",
+            Obs.Json.Obj
+              [
+                ("digest", Obs.Json.Str (Repro.digest r));
+                ("config", Config.to_json r.Repro.config);
+                ("overrides", Obs.Json.Int (List.length r.Repro.overrides));
+              ] );
+        ]
+    | None -> [])
+
+let run ?(runs = 100) ?(max_repros = 3) ?(max_horizon = 6000) ?(families = Config.all_families)
+    ?algos ?config_budget ?decision_budget ?on_run ?corpus ~registry ~root_seed () =
+  if runs < 0 then invalid_arg "Campaign.run: runs < 0";
+  let algos =
+    match algos with Some a -> a | None -> List.map fst (registry : Runner.registry)
+  in
+  if algos = [] then invalid_arg "Campaign.run: empty algorithm list";
+  if families = [] then invalid_arg "Campaign.run: empty family list";
+  let rng = Prng.create root_seed in
+  let violations = ref [] in
+  let shrunk = ref 0 in
+  for index = 0 to runs - 1 do
+    (* Each run draws from a split child stream, so the sequence of
+       generated configs is independent of how much randomness any one
+       config consumes. *)
+    let crng = Prng.split rng in
+    let config = Config.generate crng ~algos ~families ~max_horizon in
+    let outcome = Runner.run ~registry config in
+    (match on_run with Some f -> f index config outcome | None -> ());
+    (match corpus with
+    | Some f ->
+        (* A natural run needs no decision overrides: replaying with an
+           empty table reproduces it exactly. *)
+        f index (Repro.v ~config ~len:0 ~overrides:[] ~checks:outcome.Runner.checks)
+    | None -> ());
+    if outcome.Runner.failed <> [] then begin
+      let repro =
+        if !shrunk < max_repros then begin
+          incr shrunk;
+          Some (Shrink.counterexample ?config_budget ?decision_budget ~registry config)
+        end
+        else None
+      in
+      violations := { index; config; failed = outcome.Runner.failed; repro } :: !violations
+    end
+  done;
+  let violations = List.rev !violations in
+  let knobs =
+    [
+      ("runs", Obs.Json.Int runs);
+      ("max_repros", Obs.Json.Int max_repros);
+      ("max_horizon", Obs.Json.Int max_horizon);
+      ( "families",
+        Obs.Json.Arr
+          (List.map (fun f -> Obs.Json.Str (Config.family_to_string f)) families) );
+      ("algos", Obs.Json.Arr (List.map (fun a -> Obs.Json.Str a) algos));
+    ]
+  in
+  {
+    root_seed;
+    runs;
+    violations;
+    knobs;
+    entries = List.map violation_entry violations;
+  }
+
+let summary ?wall ~cmd t =
+  Obs.Report.make_campaign ~cmd ~root_seed:t.root_seed ~runs:t.runs
+    ~violations:(List.length t.violations) ~config:t.knobs ~entries:t.entries ?wall ()

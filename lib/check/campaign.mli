@@ -1,0 +1,48 @@
+(** Fuzzing campaigns: generate N configs from a root seed, run each under
+    the dining monitors, shrink violations into replayable artifacts.
+
+    Everything is deterministic in [root_seed]: run [i] draws its config
+    from the [i]-th {!Dsim.Prng.split} child of the root stream, so two
+    campaigns with equal knobs and seed execute identical runs and shrink
+    identical counterexamples. *)
+
+type violation = {
+  index : int;  (** Which run of the campaign failed. *)
+  config : Config.t;
+  failed : string list;  (** Names of the violated properties. *)
+  repro : Repro.t option;
+      (** Shrunk counterexample; [None] once [max_repros] have been shrunk. *)
+}
+
+type t = {
+  root_seed : int64;
+  runs : int;
+  violations : violation list;
+  knobs : (string * Obs.Json.t) list;  (** Campaign parameters, for the summary. *)
+  entries : Obs.Json.t list;  (** One summary entry per violation. *)
+}
+
+val run :
+  ?runs:int ->
+  ?max_repros:int ->
+  ?max_horizon:int ->
+  ?families:Config.family list ->
+  ?algos:string list ->
+  ?config_budget:int ->
+  ?decision_budget:int ->
+  ?on_run:(int -> Config.t -> Runner.outcome -> unit) ->
+  ?corpus:(int -> Repro.t -> unit) ->
+  registry:Runner.registry ->
+  root_seed:int64 ->
+  unit ->
+  t
+(** Execute a campaign. Defaults: 100 runs, shrink at most 3 violations,
+    horizons up to 6000, all adversary families, every algorithm in the
+    registry. [on_run] observes each run as it completes (progress
+    reporting); [corpus] receives a zero-override artifact for every run
+    (corpus harvesting). Raises [Invalid_argument] on empty algorithm or
+    family lists. *)
+
+val summary : ?wall:Obs.Json.t -> cmd:string -> t -> Obs.Json.t
+(** The ["dinersim-campaign/1"] summary document (see
+    {!Obs.Report.make_campaign}). *)

@@ -1,0 +1,122 @@
+open Dsim
+
+type builder =
+  Engine.t -> graph:Graphs.Conflict_graph.t -> instance:string -> eat_ticks:int -> unit
+
+type registry = (string * builder) list
+
+type outcome = {
+  checks : Obs.Report.check list;
+  failed : string list;
+  meals : int;
+  trace_events : int;
+}
+
+let instance = "fz"
+
+let with_evp make engine ~graph ~instance ~eat_ticks =
+  let n = Graphs.Conflict_graph.n graph in
+  let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp, handle = make ctx ~graph ~instance ~suspects:(suspects pid) in
+    Engine.register engine pid comp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ~eat_ticks ())
+  done
+
+let wf_builder =
+  with_evp (fun ctx ~graph ~instance ~suspects ->
+      let c, h, _ = Dining.Wf_ewx.component ctx ~instance ~graph ~suspects () in
+      (c, h))
+
+let kfair_builder =
+  with_evp (fun ctx ~graph ~instance ~suspects ->
+      let c, h, _ = Dining.Kfair.component ctx ~instance ~graph ~suspects () in
+      (c, h))
+
+let fl1_builder =
+  with_evp (fun ctx ~graph ~instance ~suspects ->
+      Dining.Fl1.component ctx ~instance ~graph ~suspects ())
+
+let hygienic_builder engine ~graph ~instance ~eat_ticks =
+  let n = Graphs.Conflict_graph.n graph in
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp, handle, _ = Dining.Hygienic.component ctx ~instance ~graph () in
+    Engine.register engine pid comp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ~eat_ticks ())
+  done
+
+let ftme_builder engine ~graph ~instance ~eat_ticks =
+  let n = Graphs.Conflict_graph.n graph in
+  let members = List.init n Fun.id in
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp, oracle = Detectors.Ground_truth.trusting ctx ~peers:members () in
+    Engine.register engine pid comp;
+    let dcomp, handle, _ =
+      Dining.Ftme.component ctx ~instance ~members
+        ~suspects:(fun () -> oracle.Detectors.Oracle.suspects ())
+        ()
+    in
+    Engine.register engine pid dcomp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ~eat_ticks ())
+  done
+
+let default_registry =
+  [
+    ("wf", wf_builder);
+    ("kfair", kfair_builder);
+    ("fl1", fl1_builder);
+    ("hygienic", hygienic_builder);
+    ("ftme", ftme_builder);
+  ]
+
+let run ?record ?replay ~registry (c : Config.t) =
+  (match (record, replay) with
+  | Some _, Some _ -> invalid_arg "Runner.run: record and replay are exclusive"
+  | _ -> ());
+  let builder =
+    match List.assoc_opt c.Config.algo registry with
+    | Some b -> b
+    | None -> failwith (Printf.sprintf "Runner.run: unknown algorithm %S" c.Config.algo)
+  in
+  let graph = Config.graph c in
+  let n = Graphs.Conflict_graph.n graph in
+  let base = Config.to_adversary c in
+  let adversary =
+    match (record, replay) with
+    | Some tape, None -> Adversary.record tape base
+    | None, Some (len, overrides) -> Adversary.replay ~len ~overrides base
+    | None, None -> base
+    | Some _, Some _ -> assert false
+  in
+  let engine = Engine.create ~seed:c.Config.seed ~n ~adversary () in
+  builder engine ~graph ~instance ~eat_ticks:c.Config.eat_ticks;
+  List.iter
+    (fun (pid, at) -> if pid >= 0 && pid < n then Engine.schedule_crash engine pid ~at)
+    c.Config.crashes;
+  Engine.run engine ~until:c.Config.horizon;
+  let trace = Engine.trace engine in
+  let horizon = c.Config.horizon in
+  let checks =
+    [
+      Obs.Report.of_verdict "wait_freedom"
+        (Dining.Monitor.wait_freedom trace ~instance ~n ~horizon ~slack:(horizon / 3));
+      Obs.Report.of_verdict "eventual_weak_exclusion"
+        (Dining.Monitor.eventual_weak_exclusion trace ~instance ~graph ~horizon
+           ~suffix_from:(horizon / 2));
+      Obs.Report.of_verdict "exiting_finite"
+        (Dining.Monitor.exiting_finite trace ~instance ~n ~horizon ~slack:(horizon / 3));
+    ]
+  in
+  let failed =
+    List.filter_map
+      (fun (ch : Obs.Report.check) -> if ch.Obs.Report.holds then None else Some ch.Obs.Report.name)
+      checks
+  in
+  let meals =
+    List.init n (fun pid -> Dining.Monitor.eat_count trace ~instance ~pid)
+    |> List.fold_left ( + ) 0
+  in
+  { checks; failed; meals; trace_events = Trace.length trace }

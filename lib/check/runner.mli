@@ -1,0 +1,45 @@
+(** Execute one campaign config and collect its property verdicts.
+
+    A runner builds the engine from the config (seed, adversary, optionally
+    wrapped for decision recording or replay), deploys the named dining
+    algorithm with greedy clients on every process, applies the crash
+    schedule, runs to the horizon, and checks the Section 4 dining
+    properties over the trace: wait-freedom (slack horizon/3), eventual
+    weak exclusion (suffix from horizon/2), and finite exiting. *)
+
+open Dsim
+
+type builder =
+  Engine.t -> graph:Graphs.Conflict_graph.t -> instance:string -> eat_ticks:int -> unit
+(** Deploy one dining algorithm (plus clients and any detectors it needs)
+    on every process of the engine. *)
+
+type registry = (string * builder) list
+(** Algorithms by config name. Tests extend this with broken variants. *)
+
+type outcome = {
+  checks : Obs.Report.check list;  (** Verdicts, fixed order. *)
+  failed : string list;  (** Names of the checks that do not hold. *)
+  meals : int;  (** Total completed+ongoing eating sessions (diagnostics). *)
+  trace_events : int;
+}
+
+val instance : string
+(** The dining-instance tag used by every fuzz run (["fz"]). *)
+
+val default_registry : registry
+(** wf, kfair, fl1, hygienic, ftme — deployed exactly as [dinersim dining]
+    deploys them (heartbeat ◇P under wf/kfair/fl1, trusting ground truth
+    under ftme, nothing under hygienic). *)
+
+val run :
+  ?record:Adversary.tape ->
+  ?replay:int * (int * Adversary.decision) list ->
+  registry:registry ->
+  Config.t ->
+  outcome
+(** Execute the config. [record] wraps the adversary so its decision
+    sequence is captured; [replay] drives the first [len] adversary queries
+    from the given positional overrides (see {!Adversary.replay}). The two
+    are mutually exclusive. Raises [Failure] on an algorithm name missing
+    from the registry. *)

@@ -1,0 +1,23 @@
+let parse_seed s =
+  let s = String.trim s in
+  if s = "" then Error "empty seed"
+  else
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad seed %S (decimal or 0x-hex expected)" s)
+
+let seed_to_string = Printf.sprintf "0x%Lx"
+
+let extract_seed_flag ~default args =
+  let rec go acc seed = function
+    | [] -> Ok (seed, List.rev acc)
+    | "--seed" :: v :: rest -> (
+        match parse_seed v with Ok s -> go acc s rest | Error e -> Error e)
+    | [ "--seed" ] -> Error "--seed expects a value"
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--seed=" -> (
+        match parse_seed (String.sub a 7 (String.length a - 7)) with
+        | Ok s -> go acc s rest
+        | Error e -> Error e)
+    | a :: rest -> go (a :: acc) seed rest
+  in
+  go [] default args

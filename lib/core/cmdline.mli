@@ -1,0 +1,20 @@
+(** Shared command-line conventions for the executables.
+
+    Every entry point that takes a PRNG seed ([dinersim]'s subcommands,
+    [stress/sweep.exe], the fuzz campaign driver) parses it through this one
+    helper, so hexadecimal ([0x2f00d]) and decimal ([7]) spellings — plus
+    OCaml's [0o]/[0b] and [_] separators — are accepted everywhere, and
+    seeds printed by one tool ({!seed_to_string} prints canonical hex) are
+    valid input to every other. *)
+
+val parse_seed : string -> (int64, string) result
+(** Accepts anything [Int64.of_string] does: decimal (optionally signed)
+    and [0x]/[0o]/[0b] radix prefixes. The input is trimmed first. *)
+
+val seed_to_string : int64 -> string
+(** Canonical rendering, [0x%Lx] — round-trips through {!parse_seed}. *)
+
+val extract_seed_flag : default:int64 -> string list -> (int64 * string list, string) result
+(** Pull a [--seed V] or [--seed=V] flag (last occurrence wins) out of a raw
+    argument list, returning the seed and the remaining arguments — for
+    executables that do their own minimal argv handling. *)

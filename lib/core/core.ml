@@ -17,6 +17,7 @@
     {- {!Agreement} — consensus and stable leader election over ◇P (the
        problems the paper's introduction motivates ◇P with).}
     {- {!Scenario} — one-call builders for the canonical experiments.}
+    {- {!Cmdline} — shared command-line conventions (seed parsing).}
     {- {!Batch} — multi-seed sweeps and summary statistics.}
     {- {!Certify} — certification harness for candidate dining boxes.}} *)
 
@@ -29,5 +30,6 @@ module Ctm = Ctm
 module Wsn = Wsn
 module Agreement = Agreement
 module Scenario = Scenario
+module Cmdline = Cmdline
 module Batch = Batch
 module Certify = Certify

@@ -50,6 +50,85 @@ let bursty ?(gst = 800) ?(calm = 60) ?(storm = 40) ?(storm_delay = 80) ?(delta =
     fairness_bound;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Record / replay.
+
+   Both wrappers forward every query to the base adversary *first*, so the
+   engine-shared PRNG consumes exactly the draws the base would consume.
+   Recording therefore never perturbs the run it observes, and a replay
+   whose overrides equal the recorded decisions reproduces the recorded
+   run bit-identically — while a replay with *edited* decisions (the
+   shrinker's neutralised candidates) stays fully deterministic, because
+   the base draws are a deterministic function of the engine PRNG state
+   and the query sequence. *)
+
+type decision = Delay of int | Step of bool
+
+type tape = { mutable rev : decision list; mutable count : int }
+
+let tape () = { rev = []; count = 0 }
+
+let tape_length tp = tp.count
+
+let tape_decisions tp =
+  let a = Array.make (max tp.count 1) (Step true) in
+  List.iteri (fun i d -> a.(tp.count - 1 - i) <- d) tp.rev;
+  Array.sub a 0 tp.count
+
+let push tp d =
+  tp.rev <- d :: tp.rev;
+  tp.count <- tp.count + 1
+
+let record tp base =
+  {
+    name = base.name ^ "/rec";
+    delay =
+      (fun rng ~now ~src ~dst ->
+        let d = base.delay rng ~now ~src ~dst in
+        push tp (Delay d);
+        d);
+    steps =
+      (fun rng ~now p ->
+        let s = base.steps rng ~now p in
+        push tp (Step s);
+        s);
+    fairness_bound = base.fairness_bound;
+  }
+
+let replay ~len ~overrides base =
+  if len < 0 then invalid_arg "Adversary.replay: negative length";
+  let tbl = Hashtbl.create (max 16 (2 * List.length overrides)) in
+  List.iter
+    (fun (i, d) ->
+      if i < 0 || i >= len then invalid_arg "Adversary.replay: override out of range";
+      Hashtbl.replace tbl i d)
+    overrides;
+  let cursor = ref 0 in
+  let next () =
+    let i = !cursor in
+    incr cursor;
+    i
+  in
+  {
+    name = Printf.sprintf "%s/replay(%d of %d)" base.name (Hashtbl.length tbl) len;
+    delay =
+      (fun rng ~now ~src ~dst ->
+        let b = base.delay rng ~now ~src ~dst in
+        let i = next () in
+        if i >= len then b
+        else
+          match Hashtbl.find_opt tbl i with
+          | Some (Delay d) -> d
+          | Some (Step _) | None -> 1);
+    steps =
+      (fun rng ~now p ->
+        let b = base.steps rng ~now p in
+        let i = next () in
+        if i >= len then b
+        else match Hashtbl.find_opt tbl i with Some (Step s) -> s | Some (Delay _) | None -> true);
+    fairness_bound = base.fairness_bound;
+  }
+
 let handicap ~slow ~factor base =
   if factor <= 0.0 || factor > 1.0 then invalid_arg "Adversary.handicap: factor in (0,1]";
   {

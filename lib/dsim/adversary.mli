@@ -49,6 +49,41 @@ val handicap : slow:Types.pid list -> factor:float -> t -> t
     backstop is stretched by [1/factor] too, so they stay correct — just
     arbitrarily slow, which asynchrony permits). *)
 
+(** {1 Record / replay}
+
+    The schedule-fuzzing harness needs to (a) capture every nondeterministic
+    choice an adversary makes during a run and (b) re-execute a run with
+    some of those choices overridden (the shrinker's neutralised
+    candidates). Both wrappers forward each query to the base adversary
+    {e first} — consuming exactly the PRNG draws the base would consume —
+    so recording never perturbs the run it observes, and replaying the full
+    recorded decision sequence reproduces the recorded run bit-identically. *)
+
+type decision =
+  | Delay of int  (** A delivery-delay choice, in ticks (>= 1). *)
+  | Step of bool  (** A step-offer choice. *)
+
+type tape
+(** Mutable recording of the decision sequence of one run, in query order
+    (delay and step queries share a single position counter). *)
+
+val tape : unit -> tape
+val tape_length : tape -> int
+val tape_decisions : tape -> decision array
+
+val record : tape -> t -> t
+(** Wrap an adversary so every decision is appended to the tape. *)
+
+val replay : len:int -> overrides:(int * decision) list -> t -> t
+(** [replay ~len ~overrides base] drives the first [len] queries from the
+    override table: query [i < len] takes the decision at position [i] when
+    one is present with the matching kind, and otherwise the {e friendliest}
+    choice (delay 1 / step offered). Queries at positions [>= len] fall back
+    to the base adversary. Replaying [~len:(tape_length tp)] with the full
+    recorded decision list reproduces the recorded run exactly; removing
+    overrides neutralises the corresponding adversarial choices. Raises
+    [Invalid_argument] on an override position outside [0, len). *)
+
 val bursty :
   ?gst:Types.time ->
   ?calm:int ->

@@ -11,9 +11,18 @@ let of_verdict name (v : Detectors.Properties.verdict) =
     detail = String.concat "; " v.Detectors.Properties.details;
   }
 
-let check_json c =
+let check_to_json c =
   Json.Obj
     [ ("name", Json.Str c.name); ("holds", Json.Bool c.holds); ("detail", Json.Str c.detail) ]
+
+let check_of_json j =
+  match (Json.find j "name", Json.find j "holds") with
+  | Some (Json.Str name), Some (Json.Bool holds) ->
+      let detail = match Json.find j "detail" with Some (Json.Str d) -> d | _ -> "" in
+      { name; holds; detail }
+  | _ -> failwith "Report.check_of_json: malformed check entry"
+
+let check_json = check_to_json
 
 let make ~cmd ?seed ?horizon ?(config = []) ?metrics ?(checks = []) ?wall () =
   Json.Obj
@@ -53,16 +62,66 @@ let validate j =
         checks
   | _ -> failwith "Report.read: missing checks array"
 
-let read ~path =
+(* ------------------------------------------------------------------ *)
+(* Campaign summaries: one document per fuzz (or other multi-run)
+   campaign, aggregating per-run entries. Deterministic in the root seed,
+   like run reports, except for the optional wall_clock field. *)
+
+let campaign_schema_version = "dinersim-campaign/1"
+
+let make_campaign ~cmd ~root_seed ~runs ~violations ?(config = []) ~entries ?wall () =
+  Json.Obj
+    [
+      ("schema", Json.Str campaign_schema_version);
+      ("cmd", Json.Str cmd);
+      ("root_seed", Json.Str (Printf.sprintf "0x%Lx" root_seed));
+      ("runs", Json.Int runs);
+      ("violations", Json.Int violations);
+      ("config", Json.Obj config);
+      ("entries", Json.Arr entries);
+      ("wall_clock", Option.value ~default:Json.Null wall);
+    ]
+
+let validate_campaign j =
+  (match Json.find j "schema" with
+  | Some (Json.Str s) when s = campaign_schema_version -> ()
+  | Some (Json.Str s) -> failwith (Printf.sprintf "Report.read_campaign: unknown schema %S" s)
+  | _ -> failwith "Report.read_campaign: missing schema tag");
+  (match (Json.find j "runs", Json.find j "violations") with
+  | Some (Json.Int _), Some (Json.Int _) -> ()
+  | _ -> failwith "Report.read_campaign: missing runs/violations counters");
+  match Json.find j "entries" with
+  | Some (Json.Arr _) -> ()
+  | _ -> failwith "Report.read_campaign: missing entries array"
+
+let slurp ~path =
   let ic = open_in path in
   let content =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let j = Json.of_string content in
+  Json.of_string content
+
+let read ~path =
+  let j = slurp ~path in
   validate j;
   j
+
+let read_campaign ~path =
+  let j = slurp ~path in
+  validate_campaign j;
+  j
+
+let read_any ~path =
+  let j = slurp ~path in
+  match Json.find j "schema" with
+  | Some (Json.Str s) when s = campaign_schema_version ->
+      validate_campaign j;
+      `Campaign j
+  | _ ->
+      validate j;
+      `Run j
 
 let passed j =
   match Json.find j "checks" with
@@ -94,3 +153,23 @@ let pp_summary fmt j =
         checks
   | _ -> ());
   Format.fprintf fmt "  all checks: %s@." (if passed j then "ok" else "FAIL")
+
+let pp_campaign_summary fmt j =
+  let str k = match Json.find j k with Some (Json.Str s) -> s | _ -> "?" in
+  let int k = match Json.find j k with Some (Json.Int n) -> n | _ -> 0 in
+  Format.fprintf fmt "campaign: cmd=%s root_seed=%s runs=%d violations=%d@." (str "cmd")
+    (str "root_seed") (int "runs") (int "violations");
+  (match Json.find j "entries" with
+  | Some (Json.Arr entries) ->
+      List.iter
+        (fun e ->
+          let run = match Json.find e "run" with Some (Json.Int n) -> n | _ -> -1 in
+          let failed =
+            match Json.find e "failed" with
+            | Some (Json.Arr l) -> List.filter_map (function Json.Str s -> Some s | _ -> None) l
+            | _ -> []
+          in
+          Format.fprintf fmt "  run %04d: %s@." run (String.concat ", " failed))
+        entries
+  | _ -> ());
+  Format.fprintf fmt "  verdict: %s@." (if int "violations" = 0 then "ok" else "FAIL")

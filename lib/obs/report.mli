@@ -28,6 +28,12 @@ val check : ?detail:string -> string -> bool -> check
 val of_verdict : string -> Detectors.Properties.verdict -> check
 (** Lift a property-checker verdict into a report check. *)
 
+val check_to_json : check -> Json.t
+val check_of_json : Json.t -> check
+(** Inverse of {!check_to_json} ([detail] defaults to [""]); raises
+    [Failure] on malformed input. Used by the fuzz repro artifacts, which
+    embed recorded check verdicts. *)
+
 val make :
   cmd:string ->
   ?seed:int64 ->
@@ -55,3 +61,36 @@ val strip_wall_clock : Json.t -> Json.t
 
 val pp_summary : Format.formatter -> Json.t -> unit
 (** Short human rendering: cmd, seed, pass/fail per check. *)
+
+(** {1 Campaign summaries}
+
+    A second document kind, schema ["dinersim-campaign/1"], for multi-run
+    drivers (the schedule fuzzer): the root seed, run/violation counters,
+    and one entry per executed run. Everything except ["wall_clock"] is
+    deterministic in the root seed. *)
+
+val campaign_schema_version : string
+
+val make_campaign :
+  cmd:string ->
+  root_seed:int64 ->
+  runs:int ->
+  violations:int ->
+  ?config:(string * Json.t) list ->
+  entries:Json.t list ->
+  ?wall:Json.t ->
+  unit ->
+  Json.t
+
+val read_campaign : path:string -> Json.t
+(** Parse and validate a campaign summary: schema tag, run/violation
+    counters, entries array. Raises [Failure] on invalid input. *)
+
+val read_any : path:string -> [ `Run of Json.t | `Campaign of Json.t ]
+(** Parse either document kind, dispatching on the schema tag (documents
+    without a campaign tag are validated as run reports). Raises [Failure]
+    on invalid input. *)
+
+val pp_campaign_summary : Format.formatter -> Json.t -> unit
+(** Short human rendering of a campaign summary: counters plus one line
+    per violation entry. *)

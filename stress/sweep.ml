@@ -3,6 +3,10 @@
 
      dune exec stress/sweep.exe -- wf                # 648 configs
      dune exec stress/sweep.exe -- kfair /tmp/k.json # custom report path
+     dune exec stress/sweep.exe -- wf --seed 0xBEEF  # shift the seed grid
+
+   --seed (hex or decimal, parsed by the shared Core.Cmdline helper) sets
+   the base of the per-config seed ladder (default 4000).
 
    Each configuration's verdicts are recorded as one entry of a
    machine-readable JSON report (default STRESS_<algo>.json in the
@@ -39,9 +43,21 @@ let aname = function
   | `Bursty g -> Printf.sprintf "bursty:%d" g
 
 let () =
-  let algo = if Array.length Sys.argv > 1 then Sys.argv.(1) else "wf" in
+  let base_seed, positional =
+    match
+      Core.Cmdline.extract_seed_flag ~default:4000L
+        (List.tl (Array.to_list Sys.argv))
+    with
+    | Ok r -> r
+    | Error msg ->
+        Printf.eprintf "sweep: %s\n" msg;
+        exit 2
+  in
+  let algo = match positional with a :: _ -> a | [] -> "wf" in
   let report_path =
-    if Array.length Sys.argv > 2 then Sys.argv.(2) else Printf.sprintf "STRESS_%s.json" algo
+    match positional with
+    | _ :: p :: _ -> p
+    | _ -> Printf.sprintf "STRESS_%s.json" algo
   in
   let fails = ref 0 and runs = ref 0 in
   let configs = ref [] in
@@ -78,7 +94,7 @@ let () =
                 ("graph", Obs.Json.Str (gname gspec));
                 ("adversary", Obs.Json.Str (aname adv));
                 ("crashes", Obs.Json.Int ncrash);
-                ("seed", Obs.Json.Int (Int64.to_int seed));
+                ("seed", Obs.Json.Str (Core.Cmdline.seed_to_string seed));
                 ("wait_freedom", Obs.Json.Bool wf.Detectors.Properties.holds);
                 ("eventual_weak_exclusion", Obs.Json.Bool wx.Detectors.Properties.holds);
                 ("pass", Obs.Json.Bool ok);
@@ -90,7 +106,7 @@ let () =
               algo (gname gspec) (aname adv) ncrash seed
               wf.Detectors.Properties.holds wx.Detectors.Properties.holds
           end)
-          (List.init 12 (fun i -> Int64.of_int (4000 + i * 1733))))
+          (List.init 12 (fun i -> Int64.add base_seed (Int64.of_int (i * 1733)))))
         [ 0; 1; 2 ])
       [ `Async; `Partial 300; `Bursty 800 ])
     [ `Ring 5; `Clique 5; `Star 6; `Path 6; `Rand 6; `Rand 7 ];

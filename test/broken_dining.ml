@@ -1,0 +1,40 @@
+(* A deliberately broken dining variant for the shrinker self-test.
+
+   [wf-dropfork] is the real WF-◇WX diner except that process 0 silently
+   drops the first Fork message it receives: the fork vanishes (the sender
+   no longer holds it, p0 never records it), so some edge of p0 can never
+   be acquired again and a correct hungry diner starves — a genuine
+   wait-freedom violation that a fuzz campaign must catch and shrink.
+   The module has no toplevel side effects: the test/dune (tests) stanza
+   links it into every test executable. *)
+
+open Dsim
+
+let algo = "wf-dropfork"
+
+let drop_first_fork (comp : Component.t) =
+  let dropped = ref false in
+  Component.make ~name:comp.Component.cname
+    ~actions:(Array.to_list comp.Component.actions)
+    ~on_receive:(fun ~src msg ->
+      match msg with
+      | Dining.Wf_ewx.Fork when not !dropped -> dropped := true
+      | _ -> comp.Component.on_receive ~src msg)
+    ()
+
+let builder engine ~graph ~instance ~eat_ticks =
+  let n = Graphs.Conflict_graph.n graph in
+  let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp, handle, _ =
+      Dining.Wf_ewx.component ctx ~instance ~graph ~suspects:(suspects pid) ()
+    in
+    let comp = if pid = 0 then drop_first_fork comp else comp in
+    Engine.register engine pid comp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ~eat_ticks ())
+  done
+
+(* The default registry plus the broken variant, so corpus artifacts for
+   either kind replay through one registry. *)
+let registry = (algo, builder) :: Check.Runner.default_registry

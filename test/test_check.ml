@@ -1,0 +1,247 @@
+(* Tests for lib/check: the schedule fuzzer, the shrinker, and the
+   fuzz-repro/1 artifact round trip.
+
+   The checked-in corpus under test/corpus/ is regenerated with
+
+     DINERSIM_CORPUS_UPDATE=$PWD/test/corpus dune runtest --force
+
+   (the variable must hold an absolute path; the tests then write fresh
+   artifacts instead of comparing against the checked-in ones). *)
+
+open Dsim
+
+let update_dir = Sys.getenv_opt "DINERSIM_CORPUS_UPDATE"
+
+(* ------------------------------------------------------------------ *)
+(* Generator and codec *)
+
+let test_generator_deterministic () =
+  let gen seed =
+    Check.Config.generate (Prng.create seed) ~algos:[ "wf"; "kfair"; "hygienic" ]
+      ~families:Check.Config.all_families ~max_horizon:4000
+  in
+  Alcotest.(check bool) "equal seeds, equal configs" true (gen 11L = gen 11L);
+  Alcotest.(check bool) "different seeds diverge somewhere" true
+    (List.exists (fun s -> gen s <> gen 11L) [ 12L; 13L; 14L; 15L ])
+
+let test_config_json_roundtrip () =
+  let rng = Prng.create 0xC0DECL in
+  for _ = 1 to 50 do
+    let c =
+      Check.Config.generate rng
+        ~algos:[ "wf"; "kfair"; "fl1"; "hygienic"; "ftme" ]
+        ~families:Check.Config.all_families ~max_horizon:6000
+    in
+    let c' = Check.Config.of_json (Obs.Json.of_string (Obs.Json.to_string (Check.Config.to_json c))) in
+    Alcotest.(check bool) "config round-trips through JSON" true (c = c')
+  done
+
+let test_crash_tolerance_respected () =
+  let rng = Prng.create 0xCAFEL in
+  for _ = 1 to 80 do
+    let c =
+      Check.Config.generate rng ~algos:[ "hygienic"; "fl1" ]
+        ~families:Check.Config.all_families ~max_horizon:4000
+    in
+    Alcotest.(check (list (pair int int))) "no crashes for crash-intolerant algos" [] c.Check.Config.crashes
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Record / replay identity *)
+
+let some_config () =
+  Check.Config.generate (Prng.create 0x51DEL) ~algos:[ "wf" ]
+    ~families:Check.Config.all_families ~max_horizon:3000
+
+let test_record_replay_identity () =
+  let registry = Check.Runner.default_registry in
+  let c = some_config () in
+  let tape = Adversary.tape () in
+  let natural = Check.Runner.run ~record:tape ~registry c in
+  let plain = Check.Runner.run ~registry c in
+  Alcotest.(check bool) "recording does not perturb the run" true (natural = plain);
+  let d = Adversary.tape_decisions tape in
+  let len = Array.length d in
+  Alcotest.(check bool) "the run consulted the adversary" true (len > 0);
+  let full = List.init len (fun i -> (i, d.(i))) in
+  let replayed = Check.Runner.run ~replay:(len, full) ~registry c in
+  Alcotest.(check bool) "full-override replay is bit-identical" true (natural = replayed);
+  let zero = Check.Runner.run ~replay:(0, []) ~registry c in
+  Alcotest.(check bool) "len=0 replay falls through to the natural run" true (natural = zero)
+
+(* ------------------------------------------------------------------ *)
+(* Repro artifacts *)
+
+let test_repro_roundtrip_and_digest () =
+  let c = some_config () in
+  let outcome = Check.Runner.run ~registry:Check.Runner.default_registry c in
+  let r =
+    Check.Repro.v ~config:c ~len:3
+      ~overrides:[ (2, Adversary.Delay 4); (0, Adversary.Step false) ]
+      ~checks:outcome.Check.Runner.checks
+  in
+  let r' = Check.Repro.of_json (Obs.Json.of_string (Obs.Json.to_string (Check.Repro.to_json r))) in
+  Alcotest.(check bool) "artifact round-trips through JSON" true (r = r');
+  Alcotest.(check string) "digest is stable" (Check.Repro.digest r) (Check.Repro.digest r');
+  (* Tampering with any body field must be caught by the digest check. *)
+  let tampered =
+    match Check.Repro.to_json r with
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (List.map
+             (function
+               | "config", cfg -> (
+                   match cfg with
+                   | Obs.Json.Obj cf ->
+                       ( "config",
+                         Obs.Json.Obj
+                           (List.map
+                              (function
+                                | "horizon", Obs.Json.Int h -> ("horizon", Obs.Json.Int (h + 1))
+                                | f -> f)
+                              cf) )
+                   | _ -> assert false)
+               | f -> f)
+             fields)
+    | _ -> assert false
+  in
+  Alcotest.check_raises "tampered artifact is rejected"
+    (Failure
+       (Printf.sprintf "Repro.of_json: digest mismatch (recorded %s, computed %s)"
+          (Check.Repro.digest r)
+          (Check.Repro.digest
+             { r with Check.Repro.config = { c with Check.Config.horizon = c.Check.Config.horizon + 1 } })))
+    (fun () -> ignore (Check.Repro.of_json tampered))
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns *)
+
+let test_real_algorithms_pass () =
+  let result =
+    Check.Campaign.run ~runs:30 ~max_horizon:4000 ~registry:Check.Runner.default_registry
+      ~root_seed:0xF5EEDL ()
+  in
+  Alcotest.(check int) "30 runs executed" 30 result.Check.Campaign.runs;
+  Alcotest.(check int) "no violations on the real algorithms" 0
+    (List.length result.Check.Campaign.violations)
+
+(* The digest of the minimal counterexample that the broken-variant
+   campaign shrinks to. Pinned: shrinking is deterministic, so this only
+   changes when the generator, the shrinker, or the engine change —
+   regenerate the corpus (see header) and update the constant then. *)
+let pinned_broken_digest = "b28c01c4190dd28c03fc4e47ee78799d"
+
+let broken_campaign () =
+  Check.Campaign.run ~runs:200 ~max_repros:1 ~max_horizon:4000 ~algos:[ Broken_dining.algo ]
+    ~registry:Broken_dining.registry ~root_seed:0xB40C0DEL ()
+
+let first_repro (result : Check.Campaign.t) =
+  match result.Check.Campaign.violations with
+  | { Check.Campaign.repro = Some r; _ } :: _ -> r
+  | _ -> Alcotest.fail "campaign produced no shrunk repro"
+
+let test_broken_variant_caught_and_shrunk () =
+  let result = broken_campaign () in
+  Alcotest.(check bool) "the 200-run campaign catches the dropped fork" true
+    (result.Check.Campaign.violations <> []);
+  let r = first_repro result in
+  Alcotest.(check bool) "shrunk repro records a violation" true
+    (List.exists (fun (c : Obs.Report.check) -> not c.Obs.Report.holds) r.Check.Repro.checks);
+  (* Shrinking must be a pure function of the root seed: a second campaign
+     reproduces the same minimal counterexample, digest included. *)
+  let again = first_repro (broken_campaign ()) in
+  Alcotest.(check string) "two campaigns shrink to the same digest" (Check.Repro.digest r)
+    (Check.Repro.digest again);
+  (match update_dir with
+  | Some dir ->
+      let path = Filename.concat dir "broken-wf-dropfork.json" in
+      Check.Repro.save ~path r;
+      Printf.printf "corpus: wrote %s (digest %s)\n%!" path (Check.Repro.digest r)
+  | None -> ());
+  Alcotest.(check string) "minimal counterexample digest is pinned" pinned_broken_digest
+    (Check.Repro.digest r)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus *)
+
+let family_seed = function `Sync -> 0xC0001L | `Async -> 0xC0002L | `Partial -> 0xC0003L | `Bursty -> 0xC0004L
+
+let test_family_corpus_update () =
+  match update_dir with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun fam ->
+          let saved = ref None in
+          let result =
+            Check.Campaign.run ~runs:1 ~families:[ fam ]
+              ~max_horizon:3000
+              ~corpus:(fun _ r -> saved := Some r)
+              ~registry:Check.Runner.default_registry ~root_seed:(family_seed fam) ()
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "family %s corpus run passes" (Check.Config.family_to_string fam))
+            0
+            (List.length result.Check.Campaign.violations);
+          match !saved with
+          | Some r ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "family-%s.json" (Check.Config.family_to_string fam))
+              in
+              Check.Repro.save ~path r;
+              Printf.printf "corpus: wrote %s (digest %s)\n%!" path (Check.Repro.digest r)
+          | None -> Alcotest.fail "corpus callback not invoked")
+        Check.Config.all_families
+
+let corpus_files () =
+  match Sys.readdir "corpus" with
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".json")
+      |> List.sort compare
+      |> List.map (Filename.concat "corpus")
+  | exception Sys_error _ -> []
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus present (found %d artifacts)" (List.length files))
+    true
+    (List.length files >= 5);
+  List.iter
+    (fun path ->
+      let r = Check.Repro.load ~path in
+      match Check.Repro.replay ~registry:Broken_dining.registry r with
+      | Ok _ -> ()
+      | Error mismatches ->
+          Alcotest.fail
+            (Printf.sprintf "%s: verdict mismatch: %s" path (String.concat "; " mismatches)))
+    files
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "json roundtrip" `Quick test_config_json_roundtrip;
+          Alcotest.test_case "crash tolerance respected" `Quick test_crash_tolerance_respected;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "record/replay identity" `Quick test_record_replay_identity;
+          Alcotest.test_case "repro roundtrip + digest" `Quick test_repro_roundtrip_and_digest;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "real algorithms pass" `Slow test_real_algorithms_pass;
+          Alcotest.test_case "broken variant caught, shrink deterministic" `Slow
+            test_broken_variant_caught_and_shrunk;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "family corpus update" `Quick test_family_corpus_update;
+          Alcotest.test_case "corpus artifacts replay" `Slow test_corpus_replays;
+        ] );
+    ]

@@ -123,9 +123,71 @@ let test_certify_negative_control () =
         check ("failure is liveness-related: " ^ c.Core.Certify.label) true is_liveness)
     r.Core.Certify.checks
 
+(* Shared --seed parsing (Core.Cmdline): hex and decimal must be accepted
+   uniformly by every dinersim subcommand and stress/sweep.exe. *)
+let test_cmdline_parse_seed () =
+  let ok s v =
+    match Core.Cmdline.parse_seed s with
+    | Ok got -> Alcotest.(check int64) (Printf.sprintf "parse %S" s) v got
+    | Error e -> Alcotest.fail (Printf.sprintf "parse %S failed: %s" s e)
+  in
+  ok "7" 7L;
+  ok "  42 " 42L;
+  ok "0x2F00d" 0x2F00dL;
+  ok "0XDEADBEEF" 0xDEADBEEFL;
+  ok "0o17" 15L;
+  ok "0b101" 5L;
+  ok "1_000_000" 1_000_000L;
+  ok "-1" (-1L);
+  ok "0xffffffffffffffff" (-1L);
+  List.iter
+    (fun s ->
+      match Core.Cmdline.parse_seed s with
+      | Ok v -> Alcotest.fail (Printf.sprintf "parse %S unexpectedly gave %Ld" s v)
+      | Error _ -> ())
+    [ ""; "  "; "seed"; "0x"; "12abc"; "0xzz" ]
+
+let test_cmdline_seed_roundtrip () =
+  List.iter
+    (fun v ->
+      match Core.Cmdline.parse_seed (Core.Cmdline.seed_to_string v) with
+      | Ok got -> Alcotest.(check int64) "seed echo round-trips" v got
+      | Error e -> Alcotest.fail e)
+    [ 0L; 7L; -1L; 0x2F00dL; Int64.max_int; Int64.min_int ]
+
+let test_cmdline_extract_seed_flag () =
+  let extract args = Core.Cmdline.extract_seed_flag ~default:9L args in
+  (match extract [ "a"; "--seed"; "0x10"; "b" ] with
+  | Ok (seed, rest) ->
+      Alcotest.(check int64) "--seed V consumed" 16L seed;
+      Alcotest.(check (list string)) "other args preserved" [ "a"; "b" ] rest
+  | Error e -> Alcotest.fail e);
+  (match extract [ "--seed=33" ] with
+  | Ok (seed, rest) ->
+      Alcotest.(check int64) "--seed=V consumed" 33L seed;
+      Alcotest.(check (list string)) "nothing left" [] rest
+  | Error e -> Alcotest.fail e);
+  (match extract [ "x"; "y" ] with
+  | Ok (seed, rest) ->
+      Alcotest.(check int64) "default used when flag absent" 9L seed;
+      Alcotest.(check (list string)) "args untouched" [ "x"; "y" ] rest
+  | Error e -> Alcotest.fail e);
+  (match extract [ "--seed" ] with
+  | Ok _ -> Alcotest.fail "dangling --seed accepted"
+  | Error _ -> ());
+  match extract [ "--seed"; "nope" ] with
+  | Ok _ -> Alcotest.fail "bad seed value accepted"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "core"
     [
+      ( "cmdline",
+        [
+          Alcotest.test_case "parse seed" `Quick test_cmdline_parse_seed;
+          Alcotest.test_case "seed echo roundtrip" `Quick test_cmdline_seed_roundtrip;
+          Alcotest.test_case "extract --seed flag" `Quick test_cmdline_extract_seed_flag;
+        ] );
       ( "batch",
         [
           Alcotest.test_case "stats basic" `Quick test_stats_basic;

@@ -364,6 +364,39 @@ let test_adversary_handicap () =
   check "slow process still runs" true (steps.(1) > 50);
   check "but much less than the fast one" true (steps.(1) * 3 < steps.(0))
 
+let test_adversary_handicap_backstop () =
+  (* With a factor close to 0 the chance-driven offers all but vanish, so
+     progress of the slowed process rests on the stretched weak-fairness
+     backstop: fairness_bound grows to ceil(base/factor) and the engine
+     still forces a step whenever the process has been idle that long. *)
+  let factor = 0.005 in
+  let adversary = Adversary.handicap ~slow:[ 1 ] ~factor (Adversary.synchronous ()) in
+  let stretched =
+    int_of_float (ceil (float_of_int (Adversary.synchronous ()).Adversary.fairness_bound /. factor))
+  in
+  check "backstop bound is stretched, not dropped" true (stretched = 200);
+  let horizon = 4000 in
+  let engine = Engine.create ~seed:9L ~n:2 ~adversary () in
+  let steps = Array.make 2 0 in
+  for pid = 0 to 1 do
+    let comp =
+      Component.make ~name:"app"
+        ~actions:
+          [
+            Component.action "t"
+              ~guard:(fun () -> true)
+              ~body:(fun () -> steps.(pid) <- steps.(pid) + 1);
+          ]
+        ()
+    in
+    Engine.register engine pid comp
+  done;
+  Engine.run engine ~until:horizon;
+  (* The backstop alone guarantees about horizon/stretched forced steps. *)
+  check "backstop still forces steps at factor near 0" true
+    (steps.(1) >= (horizon / stretched) - 1);
+  check "slowed process is heavily throttled" true (steps.(1) * 10 < steps.(0))
+
 let test_trace_csv () =
   let tr = Trace.create () in
   Trace.append tr ~at:3
@@ -484,6 +517,8 @@ let () =
           Alcotest.test_case "csv export" `Quick test_trace_csv;
           Alcotest.test_case "csv escaping" `Quick test_trace_csv_escaping;
           Alcotest.test_case "handicap adversary" `Quick test_adversary_handicap;
+          Alcotest.test_case "handicap backstop at factor near 0" `Quick
+            test_adversary_handicap_backstop;
         ] );
       ( "graphs",
         [
