@@ -3,7 +3,7 @@
 # determinism gate, and a 10k-tick end-to-end smoke that a run report is
 # written and parses.
 
-.PHONY: all build test fmt lint check smoke fuzz-smoke clean
+.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke clean
 
 all: build
 
@@ -20,11 +20,17 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-# Determinism & simulation-hygiene gate (rules D001-D005; see DESIGN.md).
+# Determinism & simulation-hygiene gate (rules D001-D010; see DESIGN.md).
 # Exits non-zero on any finding that is neither suppressed in-source nor
-# listed in tools/simlint/baseline.json.
+# listed in tools/simlint/baseline.json, or when a baseline entry is
+# stale. Also emits the SARIF 2.1.0 form for CI code-scanning upload.
 lint: build
-	dune exec tools/simlint/main.exe -- --root .
+	dune exec tools/simlint/main.exe -- --root . --sarif _build/simlint.sarif
+
+# Re-record tools/simlint/baseline.json from the current findings
+# (deterministic output; review the diff before committing).
+baseline-update: build
+	dune exec tools/simlint/main.exe -- --root . --baseline-update
 
 smoke: build
 	dune exec bin/dinersim.exe -- extract --horizon 10000 --report /tmp/dinersim-smoke.json

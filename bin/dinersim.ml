@@ -807,6 +807,7 @@ let run_report path =
   match Obs.Report.read_any ~path with
   | `Run j -> Format.printf "%a" Obs.Report.pp_summary j
   | `Campaign j -> Format.printf "%a" Obs.Report.pp_campaign_summary j
+  | `Simlint j -> Format.printf "%a" Obs.Report.pp_simlint_summary j
   | exception Failure msg ->
       prerr_endline msg;
       exit 2
@@ -821,7 +822,9 @@ let report_cmd =
   let term = Term.(const run_report $ path_t) in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Validate a JSON run report or campaign summary and print its checks")
+       ~doc:
+         "Validate a JSON run report, campaign summary or simlint report and print its \
+          checks")
     term
 
 (* ------------------------------------------------------------------ *)

@@ -80,7 +80,8 @@ let component (ctx : Context.t) ~instance ~members ~suspects () =
   let send_request =
     Component.action "fx-request"
       ~guard:(fun () ->
-        Types.phase_equal (phase ()) Types.Hungry && !sent_to <> Some (believed_server ()))
+        Types.phase_equal (phase ()) Types.Hungry
+        && (match !sent_to with Some s -> s <> believed_server () | None -> true))
       ~body:(fun () ->
         let srv = believed_server () in
         sent_to := Some srv;

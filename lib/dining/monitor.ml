@@ -35,7 +35,12 @@ let exclusion_violations trace ~instance ~graph ~horizon =
             intervals.(q))
         intervals.(p))
     (Graphs.Conflict_graph.edges graph);
-  List.sort (fun v1 v2 -> compare (v1.at, v1.p, v1.q) (v2.at, v2.p, v2.q)) !acc
+  let cmp v1 v2 =
+    match Int.compare v1.at v2.at with
+    | 0 -> ( match Int.compare v1.p v2.p with 0 -> Int.compare v1.q v2.q | c -> c)
+    | c -> c
+  in
+  List.sort cmp !acc
 
 let last_violation_time trace ~instance ~graph ~horizon =
   match List.rev (exclusion_violations trace ~instance ~graph ~horizon) with

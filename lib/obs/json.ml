@@ -91,6 +91,7 @@ type cursor = { s : string; mutable pos : int }
 let fail cur msg = failwith (Printf.sprintf "Json.of_string: %s at offset %d" msg cur.pos)
 
 let peek cur = if cur.pos < String.length cur.s then Some cur.s.[cur.pos] else None
+let peek_is cur c = match peek cur with Some x -> Char.equal x c | None -> false
 
 let advance cur = cur.pos <- cur.pos + 1
 
@@ -200,7 +201,7 @@ let rec parse_value cur =
   | Some '[' ->
       advance cur;
       skip_ws cur;
-      if peek cur = Some ']' then begin
+      if peek_is cur ']' then begin
         advance cur;
         Arr []
       end
@@ -222,7 +223,7 @@ let rec parse_value cur =
   | Some '{' ->
       advance cur;
       skip_ws cur;
-      if peek cur = Some '}' then begin
+      if peek_is cur '}' then begin
         advance cur;
         Obj []
       end

@@ -94,6 +94,38 @@ let validate_campaign j =
   | Some (Json.Arr _) -> ()
   | _ -> failwith "Report.read_campaign: missing entries array"
 
+(* ------------------------------------------------------------------ *)
+(* simlint reports: the determinism linter's canonical document. Obs
+   validates the shape only — the linter itself lives in tools/simlint —
+   so `dinersim report` can vet all three schema families. *)
+
+let simlint_schema_version = "simlint-report/1"
+
+let validate_simlint j =
+  (match Json.find j "schema" with
+  | Some (Json.Str s) when s = simlint_schema_version -> ()
+  | Some (Json.Str s) -> failwith (Printf.sprintf "Report.read_simlint: unknown schema %S" s)
+  | _ -> failwith "Report.read_simlint: missing schema tag");
+  List.iter
+    (fun k ->
+      match Json.find j k with
+      | Some (Json.Int _) -> ()
+      | _ -> failwith (Printf.sprintf "Report.read_simlint: missing %s counter" k))
+    [ "files_scanned"; "open"; "suppressed"; "baselined" ];
+  (match Json.find j "findings" with
+  | Some (Json.Arr findings) ->
+      List.iter
+        (fun f ->
+          match (Json.find f "rule", Json.find f "file", Json.find f "line", Json.find f "status")
+          with
+          | Some (Json.Str _), Some (Json.Str _), Some (Json.Int _), Some (Json.Str _) -> ()
+          | _ -> failwith "Report.read_simlint: malformed finding entry")
+        findings
+  | _ -> failwith "Report.read_simlint: missing findings array");
+  match Json.find j "stale_baseline" with
+  | Some (Json.Arr _) -> ()
+  | _ -> failwith "Report.read_simlint: missing stale_baseline array"
+
 let slurp ~path =
   let ic = open_in path in
   let content =
@@ -113,12 +145,20 @@ let read_campaign ~path =
   validate_campaign j;
   j
 
+let read_simlint ~path =
+  let j = slurp ~path in
+  validate_simlint j;
+  j
+
 let read_any ~path =
   let j = slurp ~path in
   match Json.find j "schema" with
   | Some (Json.Str s) when s = campaign_schema_version ->
       validate_campaign j;
       `Campaign j
+  | Some (Json.Str s) when s = simlint_schema_version ->
+      validate_simlint j;
+      `Simlint j
   | _ ->
       validate j;
       `Run j
@@ -173,3 +213,23 @@ let pp_campaign_summary fmt j =
         entries
   | _ -> ());
   Format.fprintf fmt "  verdict: %s@." (if int "violations" = 0 then "ok" else "FAIL")
+
+let pp_simlint_summary fmt j =
+  let int k = match Json.find j k with Some (Json.Int n) -> n | _ -> 0 in
+  Format.fprintf fmt "simlint: %d file(s), %d open, %d suppressed, %d baselined@."
+    (int "files_scanned") (int "open") (int "suppressed") (int "baselined");
+  (match Json.find j "findings" with
+  | Some (Json.Arr findings) ->
+      List.iter
+        (fun f ->
+          let str k = match Json.find f k with Some (Json.Str s) -> s | _ -> "?" in
+          let line = match Json.find f "line" with Some (Json.Int n) -> n | _ -> 0 in
+          if str "status" = "open" then
+            Format.fprintf fmt "  %s %s:%d %s@." (str "rule") (str "file") line (str "msg"))
+        findings
+  | _ -> ());
+  let stale =
+    match Json.find j "stale_baseline" with Some (Json.Arr l) -> List.length l | _ -> 0
+  in
+  if stale > 0 then Format.fprintf fmt "  stale baseline entries: %d@." stale;
+  Format.fprintf fmt "  verdict: %s@." (if int "open" = 0 && stale = 0 then "ok" else "FAIL")

@@ -86,11 +86,31 @@ val read_campaign : path:string -> Json.t
 (** Parse and validate a campaign summary: schema tag, run/violation
     counters, entries array. Raises [Failure] on invalid input. *)
 
-val read_any : path:string -> [ `Run of Json.t | `Campaign of Json.t ]
-(** Parse either document kind, dispatching on the schema tag (documents
-    without a campaign tag are validated as run reports). Raises [Failure]
-    on invalid input. *)
+val read_any : path:string -> [ `Run of Json.t | `Campaign of Json.t | `Simlint of Json.t ]
+(** Parse any of the three document kinds, dispatching on the schema tag
+    (documents without a campaign or simlint tag are validated as run
+    reports). Raises [Failure] on invalid input. *)
 
 val pp_campaign_summary : Format.formatter -> Json.t -> unit
 (** Short human rendering of a campaign summary: counters plus one line
     per violation entry. *)
+
+(** {1 simlint reports}
+
+    The third document kind, schema ["simlint-report/1"], written by the
+    determinism linter in [tools/simlint]. Obs validates the shape only
+    (counters, findings array with rule/file/line/status, stale-baseline
+    array) so reports can be vetted without linking the linter. *)
+
+val simlint_schema_version : string
+
+val validate_simlint : Json.t -> unit
+(** Raises [Failure] with a reason on malformed input. *)
+
+val read_simlint : path:string -> Json.t
+(** Parse and validate a simlint report. Raises [Failure] on invalid
+    input. *)
+
+val pp_simlint_summary : Format.formatter -> Json.t -> unit
+(** Short human rendering: counters, each open finding, and the gate
+    verdict (ok iff zero open findings and no stale baseline entry). *)

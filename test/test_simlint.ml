@@ -22,8 +22,8 @@ let fixtures_root =
   in
   find "." 7
 
-let run_fixtures ?baseline () =
-  Driver.run ?baseline ~dirs:[ "fixtures" ] ~force_lib:true ~root:fixtures_root ()
+let run_fixtures ?baseline ?allowlist () =
+  Driver.run ?baseline ?allowlist ~dirs:[ "fixtures" ] ~force_lib:true ~root:fixtures_root ()
 
 let triple (f : Finding.t) = (f.Finding.rule, f.Finding.file, f.Finding.line)
 let opens result = List.map (fun (f, _) -> triple f) (Driver.open_findings result)
@@ -41,7 +41,7 @@ let test_every_rule_fires () =
   let rules = List.sort_uniq compare (List.map (fun (r, _, _) -> r) (opens result)) in
   List.iter
     (fun rule -> check (rule ^ " fires on the corpus") true (List.mem rule rules))
-    [ "D001"; "D002"; "D003"; "D004"; "D005" ];
+    [ "D001"; "D002"; "D003"; "D004"; "D005"; "D006"; "D007"; "D008"; "D010" ];
   check "no parse failures in fixtures" false (List.mem "E000" rules)
 
 let test_corpus_fails_gate () =
@@ -79,6 +79,184 @@ let test_d004_d005_lib_only () =
     (not (List.exists (fun (f : Finding.t) -> f.Finding.rule = "D004") findings));
   check "no D005 outside lib" true
     (not (List.exists (fun (f : Finding.t) -> f.Finding.rule = "D005") findings))
+
+let test_d006_sites () =
+  let fs = in_file "d006_polycompare.ml" (run_fixtures ()) in
+  Alcotest.(check (list int))
+    "hash, tuple =, Some <>, list compare flagged; scalar = and passed comparator clean"
+    [ 4; 5; 6; 7 ]
+    (List.sort compare (rule_lines "D006" fs))
+
+let test_d007_sites () =
+  let fs = in_file "d007_catchall.ml" (run_fixtures ()) in
+  Alcotest.(check (list int))
+    "sole wildcard and trailing wildcard flagged; named handler clean" [ 3; 4 ]
+    (List.sort compare (rule_lines "D007" fs))
+
+let test_d008_sites () =
+  let fs = in_file "d008_toplevel_state.ml" (run_fixtures ()) in
+  Alcotest.(check (list int))
+    "top-level ref/Hashtbl and nested-module Queue flagged; per-call create clean"
+    [ 4; 5; 8 ]
+    (List.sort compare (rule_lines "D008" fs))
+
+(* ------------------------------------------------------------------ *)
+(* D010: interprocedural nondeterminism taint. *)
+
+let d010_opens result =
+  List.filter (fun (r, _, _) -> r = "D010") (opens result)
+
+let test_d010_cross_module_chain () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "one-hop, two-hop and clock chains flagged at their call sites"
+    [
+      ("D010", "fixtures/clock_user.ml", 4);
+      ("D010", "fixtures/taint_b.ml", 4);
+      ("D010", "fixtures/taint_c.ml", 5);
+    ]
+    (d010_opens result);
+  let sink =
+    List.find
+      (fun ((f : Finding.t), _) -> f.Finding.file = "fixtures/taint_c.ml" && f.Finding.line = 5)
+      result.Driver.findings
+    |> fst
+  in
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "message carries the full source->sink chain" true
+    (contains ~needle:"Taint_c.use -> Taint_b.wrapped -> Taint_a.roll" sink.Finding.msg);
+  check "message names the seed site" true
+    (contains ~needle:"`Random.int` (fixtures/taint_a.ml:4)" sink.Finding.msg)
+
+let test_d010_suppressed_sink () =
+  let result = run_fixtures () in
+  check "justified sink is suppressed, not open" true
+    (List.exists
+       (fun ((f : Finding.t), s) ->
+         s = Finding.Suppressed && triple f = ("D010", "fixtures/taint_c.ml", 8))
+       result.Driver.findings)
+
+let test_d010_allowlist () =
+  (* With the clock source allowlisted, neither the direct D001 nor the
+     downstream D010 fires — same corpus, different disposition. The Random
+     chain is unaffected. *)
+  let allowlist = [ "fixtures/allowed_clock.ml" ] in
+  let result = run_fixtures ~allowlist () in
+  Alcotest.(check (list int))
+    "allowlisted clock source is D001-clean" []
+    (rule_lines "D001" (in_file "allowed_clock.ml" result));
+  Alcotest.(check (list int))
+    "no taint flows out of an allowlisted source" []
+    (rule_lines "D010" (in_file "clock_user.ml" result));
+  Alcotest.(check (list (triple string string int)))
+    "Random-rooted chains still flagged"
+    [ ("D010", "fixtures/taint_b.ml", 4); ("D010", "fixtures/taint_c.ml", 5) ]
+    (d010_opens result)
+
+let test_d010_baseline () =
+  let baseline = [ { Baseline.file = "fixtures/taint_c.ml"; rule = "D010"; line = 5 } ] in
+  let result = run_fixtures ~baseline () in
+  check "baselined D010 no longer open" true
+    (List.exists
+       (fun ((f : Finding.t), s) ->
+         s = Finding.Baselined && triple f = ("D010", "fixtures/taint_c.ml", 5))
+       result.Driver.findings);
+  Alcotest.(check int) "no stale entries" 0 (List.length result.Driver.stale_baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Gate semantics and baseline regeneration. *)
+
+let test_gate_and_baseline_regeneration () =
+  let plain = run_fixtures () in
+  check "corpus fails the gate outright" false (Driver.gate_ok plain);
+  (* Regenerating the baseline from the run grandfathers every
+     non-suppressed finding: the gate then passes... *)
+  let regenerated = Driver.to_baseline plain in
+  let grandfathered = run_fixtures ~baseline:regenerated () in
+  check "regenerated baseline covers every open finding" true (Driver.gate_ok grandfathered);
+  Alcotest.(check int) "nothing open" 0 (List.length (Driver.open_findings grandfathered));
+  (* ... and a stale entry alone fails it again. *)
+  let stale =
+    { Baseline.file = "fixtures/gone.ml"; rule = "D001"; line = 1 } :: regenerated
+  in
+  let with_stale = run_fixtures ~baseline:stale () in
+  check "stale baseline entry fails the gate" false (Driver.gate_ok with_stale);
+  Alcotest.(check int) "no open findings, only staleness" 0
+    (List.length (Driver.open_findings with_stale))
+
+let test_baseline_write_deterministic () =
+  let entries = Driver.to_baseline (run_fixtures ()) in
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let p1 = Filename.temp_file "simlint_baseline" ".json" in
+  let p2 = Filename.temp_file "simlint_baseline" ".json" in
+  Baseline.write ~path:p1 entries;
+  Baseline.write ~path:p2 entries;
+  Alcotest.(check string) "two writes are byte-identical" (slurp p1) (slurp p2);
+  let reloaded = Baseline.load p1 in
+  check "write/load round-trips the entries" true (reloaded = entries);
+  Sys.remove p1;
+  Sys.remove p2
+
+(* ------------------------------------------------------------------ *)
+(* SARIF emission. *)
+
+let test_sarif_pinned () =
+  let result = run_fixtures () in
+  let produced = Sarif.to_string result.Driver.findings ^ "\n" in
+  (match Sys.getenv_opt "SIMLINT_SARIF_UPDATE" with
+  | Some dir ->
+      let oc = open_out_bin (Filename.concat dir "expected.sarif") in
+      output_string oc produced;
+      close_out oc
+  | None -> ());
+  let expected =
+    let ic = open_in_bin (Filename.concat fixtures_root "fixtures/expected.sarif") in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Alcotest.(check string) "SARIF of the fixture corpus is pinned byte-exactly" expected produced
+
+let test_sarif_shape () =
+  let result = run_fixtures () in
+  let j = Sarif.of_findings result.Driver.findings in
+  let open Obs.Json in
+  Alcotest.(check string) "version" "2.1.0" (str (get j "version"));
+  let run = List.hd (arr (get j "runs")) in
+  let results = arr (get run "results") in
+  Alcotest.(check int)
+    "one result per finding"
+    (List.length result.Driver.findings)
+    (List.length results);
+  let suppressed_count =
+    List.length (List.filter (fun r -> find r "suppressions" <> None) results)
+  in
+  Alcotest.(check int)
+    "suppressed+baselined findings carry a suppressions array"
+    (List.length result.Driver.findings - List.length (Driver.open_findings result))
+    suppressed_count;
+  let driver = get (get run "tool") "driver" in
+  Alcotest.(check int) "rule catalog shipped" (List.length Rules.catalog)
+    (List.length (arr (get driver "rules")))
+
+let test_severities () =
+  Alcotest.(check string) "D001 is an error" "error"
+    (Finding.severity_name (Finding.severity_of_rule "D001"));
+  Alcotest.(check string) "D010 is an error" "error"
+    (Finding.severity_name (Finding.severity_of_rule "D010"));
+  Alcotest.(check string) "D006 is a warning" "warning"
+    (Finding.severity_name (Finding.severity_of_rule "D006"));
+  Alcotest.(check string) "unknown rules downgrade to note" "note"
+    (Finding.severity_name (Finding.severity_of_rule "D999"))
 
 let test_suppression_exact () =
   let result = run_fixtures () in
@@ -153,6 +331,23 @@ let () =
           Alcotest.test_case "D003 unsorted traversals only" `Quick test_d003_only_unsorted;
           Alcotest.test_case "D004 unsafe constructs" `Quick test_d004_sites;
           Alcotest.test_case "D004/D005 are lib-only" `Quick test_d004_d005_lib_only;
+          Alcotest.test_case "D006 polymorphic compare/hash" `Quick test_d006_sites;
+          Alcotest.test_case "D007 catch-all handlers" `Quick test_d007_sites;
+          Alcotest.test_case "D008 module-level mutable state" `Quick test_d008_sites;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "D010 cross-module chain" `Quick test_d010_cross_module_chain;
+          Alcotest.test_case "D010 sink suppression" `Quick test_d010_suppressed_sink;
+          Alcotest.test_case "D010 respects the allowlist" `Quick test_d010_allowlist;
+          Alcotest.test_case "D010 baseline hit" `Quick test_d010_baseline;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "stale baseline fails; regeneration passes" `Quick
+            test_gate_and_baseline_regeneration;
+          Alcotest.test_case "baseline writes are deterministic" `Quick
+            test_baseline_write_deterministic;
         ] );
       ( "dispositions",
         [
@@ -163,5 +358,10 @@ let () =
           Alcotest.test_case "suppress comment parser" `Quick test_suppress_parser;
         ] );
       ( "report",
-        [ Alcotest.test_case "JSON round-trips through Obs.Json" `Quick test_json_roundtrip ] );
+        [
+          Alcotest.test_case "JSON round-trips through Obs.Json" `Quick test_json_roundtrip;
+          Alcotest.test_case "SARIF pinned byte-exactly" `Quick test_sarif_pinned;
+          Alcotest.test_case "SARIF document shape" `Quick test_sarif_shape;
+          Alcotest.test_case "severity mapping" `Quick test_severities;
+        ] );
     ]

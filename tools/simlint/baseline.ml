@@ -22,6 +22,31 @@ let of_json j =
   |> List.map (fun e ->
          { file = str (get e "file"); rule = str (get e "rule"); line = int (get e "line") })
 
+let to_json entries =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str schema);
+      ( "findings",
+        Obs.Json.Arr
+          (List.map
+             (fun e ->
+               Obs.Json.Obj
+                 [
+                   ("file", Obs.Json.Str e.file);
+                   ("rule", Obs.Json.Str e.rule);
+                   ("line", Obs.Json.Int e.line);
+                 ])
+             entries) );
+    ]
+
+(* Written with the canonical compact printer so regeneration is
+   byte-deterministic given the same findings. *)
+let write ~path entries =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string (to_json entries)))
+
 let load path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in

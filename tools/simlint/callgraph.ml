@@ -1,0 +1,294 @@
+(* Whole-project, module-qualified call graph over top-level [let] bindings.
+
+   Every scanned file is parsed once (by [Driver]) and walked here to
+   produce three relations the taint pass consumes:
+
+     - nodes: one per top-level value binding (including bindings inside
+       nested [module S = struct .. end]), keyed by a dotted id such as
+       "Dining.Ftme.component". Files under lib/<dir>/ get the capitalized
+       directory as a namespace prefix, mirroring dune's wrapped libraries,
+       so both the external spelling (Dining.Ftme.f) and the intra-library
+       spelling (Ftme.f) of a reference resolve to the same node.
+     - edges: caller node -> callee node, one per call/reference site.
+     - seeds: sites inside a node's body that touch a nondeterminism source
+       directly (wall clock, Random, Sys/Unix environment, Hashtbl traversal
+       order, the polymorphic Hashtbl.hash).
+
+   Resolution is deliberately best-effort and purely syntactic: [open]s and
+   module aliases are expanded, enclosing-module prefixes are tried from
+   most- to least-specific, and anything that still fails to resolve (stdlib
+   calls, locals, functor innards) is silently dropped. False negatives are
+   acceptable — the per-file rules still catch direct sites — but every
+   resolution choice is deterministic so reports replay bit-identically. *)
+
+type input = {
+  rel : string;  (** root-relative path, '/'-separated *)
+  lib : bool;  (** lib rules apply (real lib/ file, or --force-lib) *)
+  wallclock_ok : bool;  (** file is on the D001 allowlist: clock reads do not seed *)
+  str : Parsetree.structure;
+}
+
+type node = { id : string; file : string; line : int; lib : bool }
+
+type edge = { caller : string; callee : string; file : string; line : int; col : int }
+
+type seed = { node : string; source : string; file : string; line : int }
+
+type t = {
+  nodes : (string * node) list;  (** sorted by id *)
+  edges : edge list;  (** sorted; deduplicated *)
+  seeds : seed list;  (** sorted *)
+}
+
+(* Nondeterminism sources seeded into the graph. Wall clock and randomness
+   mirror D001/D002; the environment and the representation hash are taint
+   sources only (no direct rule bans reading an env var — but a lib function
+   whose result depends on one is not replayable). *)
+let env_sources = [ "Sys.getenv"; "Sys.getenv_opt"; "Unix.getenv"; "Unix.environment" ]
+
+let ident_sources =
+  Rules.wallclock @ env_sources @ Rules.poly_hash @ [ "Hashtbl.randomize"; "Hashtbl.iter" ]
+
+let module_of_file rel =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename rel))
+
+(* lib/<dir>/<file>.ml -> the wrapped-library namespace, e.g. "Dining". *)
+let namespace_of_file rel =
+  match String.split_on_char '/' rel with
+  | [ "lib"; dir; _ ] -> Some (String.capitalize_ascii dir)
+  | _ -> None
+
+let rec pat_name (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> Some txt
+  | Parsetree.Ppat_constraint (inner, _) -> pat_name inner
+  | _ -> None
+
+let dotted parts = String.concat "." parts
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* Mutable build state, folded over every file. *)
+type builder = {
+  mutable defs : (string * node) list;  (** canonical id -> node, newest first *)
+  keys : (string, string) Hashtbl.t;  (** lookup key -> canonical id (first wins) *)
+  mutable raw_edges : (string * string list * string list list * string * int * int) list;
+      (** caller id, ref path parts, candidate prefixes (outermost scope first),
+          file, line, col — resolved after all defs are known *)
+  mutable raw_seeds : seed list;
+}
+
+let register_def b ~ns ~scope ~name ~file ~line ~lib =
+  let id = dotted (scope @ [ name ]) in
+  if not (List.mem_assoc id b.defs) then begin
+    b.defs <- (id, { id; file; line; lib }) :: b.defs;
+    if not (Hashtbl.mem b.keys id) then Hashtbl.add b.keys id id;
+    (* Secondary, namespace-free key so intra-library references resolve. *)
+    match ns with
+    | Some n -> (
+        match scope with
+        | hd :: tl when hd = n ->
+            let bare = dotted (tl @ [ name ]) in
+            if not (Hashtbl.mem b.keys bare) then Hashtbl.add b.keys bare id
+        | _ -> ())
+    | None -> ()
+  end;
+  id
+
+(* Environment threaded through the walk of one file. [aliases] maps a
+   module alias to its expansion's path parts; [opens] are expanded open
+   paths, innermost first. *)
+type env = { scope : string list; opens : string list list; aliases : (string * string list) list }
+
+let expand_alias env = function
+  | [] -> []
+  | hd :: tl -> (
+      match List.assoc_opt hd env.aliases with Some exp -> exp @ tl | None -> hd :: tl)
+
+let module_path (m : Parsetree.module_expr) =
+  match m.Parsetree.pmod_desc with
+  | Parsetree.Pmod_ident { txt; _ } -> (
+      match Rules.flatten txt with [] -> None | parts -> Some parts)
+  | _ -> None
+
+let build (inputs : input list) : t =
+  let b = { defs = []; keys = Hashtbl.create 256; raw_edges = []; raw_seeds = [] } in
+  (* ---- pass 1: definitions, raw references, seeds ---- *)
+  let walk_file (inp : input) =
+    let ns = namespace_of_file inp.rel in
+    let root_scope =
+      match ns with
+      | Some n -> [ n; module_of_file inp.rel ]
+      | None -> [ module_of_file inp.rel ]
+    in
+    (* Candidate prefixes for a reference in scope [s], most specific
+       first, ending with the empty prefix (absolute reference). *)
+    let prefixes env =
+      let rec chain = function [] -> [ [] ] | s -> s :: chain (List.rev (List.tl (List.rev s))) in
+      chain env.scope @ env.opens
+    in
+    let record_ref env ~caller ~loc (li : Longident.t) =
+      match Rules.flatten li with
+      | [] -> ()
+      | parts ->
+          let parts = expand_alias env parts in
+          let line, col = pos_of loc in
+          b.raw_edges <- (caller, parts, prefixes env, inp.rel, line, col) :: b.raw_edges
+    in
+    let record_seed ~caller ~loc source =
+      let line, _ = pos_of loc in
+      b.raw_seeds <- { node = caller; source; file = inp.rel; line } :: b.raw_seeds
+    in
+    (* Walk one binding body, attributing refs and seeds to [caller]. The
+       environment is mutable-with-restore so [let open]/[M.(..)] scopes
+       extend it only for their subtree. *)
+    let walk_body env0 ~caller (body : Parsetree.expression) =
+      let env = ref env0 in
+      (* Same sanctioning dance as the D003 rule: a [Hashtbl.fold] piped
+         straight into a sort is order-free and must not seed taint. *)
+      let sanctioned : (Location.t, unit) Hashtbl.t = Hashtbl.create 8 in
+      let sanction (e : Parsetree.expression) =
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_apply (f, _) -> (
+            match Rules.path_of_expr f with
+            | Some "Hashtbl.fold" -> Hashtbl.replace sanctioned f.Parsetree.pexp_loc ()
+            | _ -> ())
+        | _ -> ()
+      in
+      let is_sort e =
+        match Rules.head_path e with Some p -> List.mem p Rules.sort_heads | None -> false
+      in
+      let expr (it : Ast_iterator.iterator) (e : Parsetree.expression) =
+        match e.Parsetree.pexp_desc with
+        | Parsetree.Pexp_open (o, body) ->
+            let saved = !env in
+            (match module_path o.Parsetree.popen_expr with
+            | Some parts -> env := { !env with opens = expand_alias !env parts :: !env.opens }
+            | None -> ());
+            it.Ast_iterator.expr it body;
+            env := saved
+        | Parsetree.Pexp_letmodule ({ txt = Some name; _ }, m, body) ->
+            let saved = !env in
+            (match module_path m with
+            | Some parts -> env := { !env with aliases = (name, expand_alias !env parts) :: !env.aliases }
+            | None -> ());
+            it.Ast_iterator.expr it body;
+            env := saved
+        | Parsetree.Pexp_ident { txt; loc } ->
+            (match Rules.path_of_ident txt with
+            | Some p
+              when List.mem p ident_sources || Rules.starts_with ~prefix:"Random." p ->
+                if not (inp.wallclock_ok && List.mem p Rules.wallclock) then
+                  record_seed ~caller ~loc p
+            | Some "Hashtbl.fold" when not (Hashtbl.mem sanctioned e.Parsetree.pexp_loc) ->
+                record_seed ~caller ~loc "Hashtbl.fold (unsorted)"
+            | _ -> ());
+            record_ref !env ~caller ~loc txt
+        | Parsetree.Pexp_apply (f, args) ->
+            (match (Rules.path_of_expr f, args) with
+            | Some "|>", [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] when is_sort rhs ->
+                sanction lhs
+            | Some "@@", [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] when is_sort lhs ->
+                sanction rhs
+            | Some p, args when List.mem p Rules.sort_heads ->
+                List.iter (fun (_, a) -> sanction a) args
+            | _ -> ());
+            Ast_iterator.default_iterator.Ast_iterator.expr it e
+        | _ -> Ast_iterator.default_iterator.Ast_iterator.expr it e
+      in
+      let it = { Ast_iterator.default_iterator with expr } in
+      it.Ast_iterator.expr it body
+    in
+    let rec walk_items env items = List.iter (walk_item env) items
+    and walk_item (env : env ref) (si : Parsetree.structure_item) =
+      match si.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Parsetree.value_binding) ->
+              let line, _ = pos_of vb.Parsetree.pvb_loc in
+              let caller =
+                match pat_name vb.Parsetree.pvb_pat with
+                | Some name ->
+                    register_def b ~ns ~scope:!env.scope ~name ~file:inp.rel ~line ~lib:inp.lib
+                | None ->
+                    (* Side-effecting module initialisation ([let () = ..]):
+                       one synthetic node per module so cross-file taint in
+                       init code is still tracked. *)
+                    register_def b ~ns ~scope:!env.scope ~name:"(init)" ~file:inp.rel ~line
+                      ~lib:inp.lib
+              in
+              walk_body !env ~caller vb.Parsetree.pvb_expr)
+            vbs
+      | Parsetree.Pstr_eval (e, _) ->
+          let line, _ = pos_of si.Parsetree.pstr_loc in
+          let caller =
+            register_def b ~ns ~scope:!env.scope ~name:"(init)" ~file:inp.rel ~line ~lib:inp.lib
+          in
+          walk_body !env ~caller e
+      | Parsetree.Pstr_open o -> (
+          match module_path o.Parsetree.popen_expr with
+          | Some parts -> env := { !env with opens = expand_alias !env parts :: !env.opens }
+          | None -> ())
+      | Parsetree.Pstr_module mb -> (
+          let name = match mb.Parsetree.pmb_name.txt with Some n -> n | None -> "_" in
+          match mb.Parsetree.pmb_expr.Parsetree.pmod_desc with
+          | Parsetree.Pmod_ident _ -> (
+              match module_path mb.Parsetree.pmb_expr with
+              | Some parts -> env := { !env with aliases = (name, expand_alias !env parts) :: !env.aliases }
+              | None -> ())
+          | _ -> walk_module env name mb.Parsetree.pmb_expr)
+      | Parsetree.Pstr_recmodule mbs ->
+          List.iter
+            (fun (mb : Parsetree.module_binding) ->
+              let name = match mb.Parsetree.pmb_name.txt with Some n -> n | None -> "_" in
+              walk_module env name mb.Parsetree.pmb_expr)
+            mbs
+      | Parsetree.Pstr_include i -> (
+          (* [include struct .. end] contributes to the enclosing module. *)
+          match i.Parsetree.pincl_mod.Parsetree.pmod_desc with
+          | Parsetree.Pmod_structure s -> walk_items env s
+          | _ -> ())
+      | _ -> ()
+    and walk_module env name (m : Parsetree.module_expr) =
+      match m.Parsetree.pmod_desc with
+      | Parsetree.Pmod_structure s ->
+          let saved = !env in
+          env := { !env with scope = !env.scope @ [ name ] };
+          walk_items env s;
+          env := saved
+      | Parsetree.Pmod_constraint (inner, _) -> walk_module env name inner
+      | _ -> ()  (* functors allocate per application; skip *)
+    in
+    let env = ref { scope = root_scope; opens = []; aliases = [] } in
+    walk_items env inp.str
+  in
+  List.iter walk_file inputs;
+  (* ---- pass 2: resolve references against the def table ---- *)
+  let resolve parts prefixes =
+    let rec try_prefixes = function
+      | [] -> None
+      | pre :: rest -> (
+          match Hashtbl.find_opt b.keys (dotted (pre @ parts)) with
+          | Some id -> Some id
+          | None -> try_prefixes rest)
+    in
+    try_prefixes prefixes
+  in
+  let edges =
+    List.filter_map
+      (fun (caller, parts, prefixes, file, line, col) ->
+        match resolve parts prefixes with
+        | Some callee when callee <> caller -> Some { caller; callee; file; line; col }
+        | _ -> None)
+      b.raw_edges
+    |> List.sort_uniq compare
+  in
+  {
+    nodes = List.sort (fun (a, _) (c, _) -> String.compare a c) b.defs;
+    edges;
+    seeds = List.sort_uniq compare b.raw_seeds;
+  }
+
+let find_node t id = List.assoc_opt id t.nodes

@@ -1,10 +1,13 @@
 (* File discovery, rule dispatch, and finding disposition.
 
-   The driver walks the requested directories under a root, parses every .ml
-   with the compiler's own parser, runs [Rules], applies the file-set rule
-   D005 (lib module missing its .mli), then classifies each finding as open,
+   v2: the driver parses every requested .ml under the root ONCE, runs the
+   per-file rules ([Rules]) and the file-set rule D005, then hands all the
+   parsed structures to [Callgraph]/[Taint] for the whole-project
+   interprocedural pass (D010). Each finding is classified as open,
    suppressed (a [simlint: allow] comment at the site) or baselined (listed
-   in baseline.json). Only open findings fail the gate. *)
+   in baseline.json). Only open findings pass the gate — and since v2 a
+   stale baseline entry fails it too (the baseline may only shrink; use
+   --baseline-update to regenerate it). *)
 
 type result = {
   findings : (Finding.t * Finding.status) list;  (** sorted, deterministic *)
@@ -16,7 +19,10 @@ let schema = "simlint-report/1"
 let default_dirs = [ "lib"; "bin"; "bench"; "stress" ]
 
 (* D001 allowlist: the one module allowed to touch the wall clock. Matching
-   is on root-relative paths, normalised to '/'. *)
+   is on root-relative paths, normalised to '/'. Sources inside an
+   allowlisted file do not seed D010 taint either — Obs.Instrument
+   segregates its clock reads from deterministic report bodies, so callers
+   do not inherit nondeterminism from it. *)
 let wallclock_allowlist = [ "lib/obs/instrument.ml" ]
 
 let read_file path =
@@ -44,49 +50,83 @@ let rec ml_files root rel =
 
 let is_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
 
-let lint_file ?(force_lib = false) ~root ~rel () =
-  let path = Filename.concat root rel in
-  let text = read_file path in
-  let suppressions = Suppress.parse text in
-  let cfg =
-    {
-      Rules.file = rel;
-      lib = force_lib || is_lib rel;
-      wallclock_ok = List.mem rel wallclock_allowlist;
-    }
-  in
+(* One file's worth of parse state, shared by the per-file rules and the
+   whole-project pass. *)
+type parsed = {
+  rel : string;
+  lib : bool;
+  wallclock_ok : bool;
+  suppressions : Suppress.t;
+  str : (Parsetree.structure, exn) Result.t;
+}
+
+let parse_one ~allowlist ~force_lib ~root rel =
+  let text = read_file (Filename.concat root rel) in
+  {
+    rel;
+    lib = force_lib || is_lib rel;
+    wallclock_ok = List.mem rel allowlist;
+    suppressions = Suppress.parse text;
+    str = (try Ok (parse_structure ~path:rel text) with e -> Error e);
+  }
+
+let file_findings ~root (p : parsed) =
   let ast_findings =
-    match parse_structure ~path:rel text with
-    | str -> Rules.run cfg str
-    | exception e ->
+    match p.str with
+    | Ok str ->
+        Rules.run { Rules.file = p.rel; lib = p.lib; wallclock_ok = p.wallclock_ok } str
+    | Error e ->
         [
-          Finding.make ~rule:"E000" ~file:rel ~line:1 ~col:0
+          Finding.make ~rule:"E000" ~file:p.rel ~line:1 ~col:0
             ~msg:("parse error: " ^ Printexc.to_string e);
         ]
   in
   let d005 =
     if
-      cfg.Rules.lib
-      && not (Sys.file_exists (Filename.concat root (Filename.remove_extension rel ^ ".mli")))
+      p.lib
+      && not (Sys.file_exists (Filename.concat root (Filename.remove_extension p.rel ^ ".mli")))
     then
       [
-        Finding.make ~rule:"D005" ~file:rel ~line:1 ~col:0
+        Finding.make ~rule:"D005" ~file:p.rel ~line:1 ~col:0
           ~msg:"lib module has no .mli; interfaces pin the surface other layers may rely on";
       ]
     else []
   in
-  (ast_findings @ d005, suppressions)
+  ast_findings @ d005
 
-let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false) ~root () =
+(* Back-compat single-file entry point (no interprocedural pass), used by
+   the test-suite to probe lib-only rule behaviour. *)
+let lint_file ?(force_lib = false) ~root ~rel () =
+  let p = parse_one ~allowlist:wallclock_allowlist ~force_lib ~root rel in
+  (file_findings ~root p, p.suppressions)
+
+let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
+    ?(allowlist = wallclock_allowlist) ~root () =
   let files =
     dirs
     |> List.concat_map (fun d ->
            if Sys.file_exists (Filename.concat root d) then ml_files root d else [])
   in
+  let parsed = List.map (parse_one ~allowlist ~force_lib ~root) files in
+  let per_file = List.concat_map (fun p -> file_findings ~root p) parsed in
+  let interprocedural =
+    parsed
+    |> List.filter_map (fun p ->
+           match p.str with
+           | Ok str ->
+               Some { Callgraph.rel = p.rel; lib = p.lib; wallclock_ok = p.wallclock_ok; str }
+           | Error _ -> None)
+    |> Callgraph.build |> Taint.findings
+  in
+  let suppressions_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace tbl p.rel p.suppressions) parsed;
+    fun file -> Option.value ~default:[] (Hashtbl.find_opt tbl file)
+  in
   let remaining = ref baseline in
-  let classify suppressions (f : Finding.t) =
-    if Suppress.covers suppressions ~rule:f.Finding.rule ~line:f.Finding.line then
-      (f, Finding.Suppressed)
+  let classify (f : Finding.t) =
+    if Suppress.covers (suppressions_of f.Finding.file) ~rule:f.Finding.rule ~line:f.Finding.line
+    then (f, Finding.Suppressed)
     else
       match Baseline.matches !remaining f with
       | Some rest ->
@@ -95,10 +135,7 @@ let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
       | None -> (f, Finding.Open)
   in
   let findings =
-    files
-    |> List.concat_map (fun rel ->
-           let fs, suppressions = lint_file ~force_lib ~root ~rel () in
-           List.map (classify suppressions) fs)
+    List.map classify (per_file @ interprocedural)
     |> List.sort (fun (a, _) (b, _) -> Finding.compare a b)
   in
   { findings; files_scanned = List.length files; stale_baseline = !remaining }
@@ -107,6 +144,23 @@ let count status t =
   List.length (List.filter (fun (_, s) -> s = status) t.findings)
 
 let open_findings t = List.filter (fun (_, s) -> s = Finding.Open) t.findings
+
+(* The gate: open findings fail it, and so does a stale baseline entry —
+   an entry whose finding has been fixed must be deleted (or the whole file
+   regenerated with --baseline-update), otherwise it could silently
+   grandfather an unrelated future finding on the same line. *)
+let gate_ok t = open_findings t = [] && t.stale_baseline = []
+
+(* Deterministic baseline regeneration: every finding that is not
+   suppressed in-source becomes an entry, in report order. *)
+let to_baseline t =
+  List.filter_map
+    (fun ((f : Finding.t), s) ->
+      match s with
+      | Finding.Suppressed -> None
+      | Finding.Open | Finding.Baselined ->
+          Some { Baseline.file = f.Finding.file; rule = f.Finding.rule; line = f.Finding.line })
+    t.findings
 
 let to_json t =
   Obs.Json.Obj
@@ -140,7 +194,8 @@ let print_human ppf t =
     t.findings;
   List.iter
     (fun (e : Baseline.entry) ->
-      Format.fprintf ppf "simlint: stale baseline entry %s %s:%d (fixed? remove it)@."
+      Format.fprintf ppf
+        "simlint: stale baseline entry %s %s:%d (fixed? remove it or run --baseline-update)@."
         e.Baseline.rule e.Baseline.file e.Baseline.line)
     t.stale_baseline;
   Format.fprintf ppf "simlint: %d file(s), %d open, %d suppressed, %d baselined@."

@@ -4,25 +4,34 @@
 
 type status = Open | Suppressed | Baselined
 
+(* Severities are advisory metadata for reports and SARIF: the gate itself
+   fails on ANY open finding regardless of level, so a "note" cannot rot
+   silently. *)
+type severity = Error | Warning | Note
+
 type t = {
-  rule : string;  (** "D001" .. "D005", or "E000" for parse failures *)
+  rule : string;  (** "D001" .. "D010", or "E000" for parse failures *)
   file : string;  (** path relative to the lint root *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based, as the compiler prints them *)
   msg : string;
+  severity : severity;
 }
 
-let make ~rule ~file ~line ~col ~msg = { rule; file; line; col; msg }
+(* Determinism leaks (including the interprocedural D010) break the replay
+   contract outright; the hygiene rules flag hazards that need a human
+   judgement call; D005 is a conventions nudge. *)
+let severity_of_rule = function
+  | "D001" | "D002" | "D003" | "D010" | "E000" -> Error
+  | "D004" | "D006" | "D007" | "D008" -> Warning
+  | _ -> Note
+
+let make ~rule ~file ~line ~col ~msg =
+  { rule; file; line; col; msg; severity = severity_of_rule rule }
 
 let of_location ~rule ~file ~msg (loc : Location.t) =
   let p = loc.Location.loc_start in
-  {
-    rule;
-    file;
-    line = p.Lexing.pos_lnum;
-    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-    msg;
-  }
+  make ~rule ~file ~line:p.Lexing.pos_lnum ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol) ~msg
 
 (* Deterministic report order: by position within a file, then by rule id so
    two findings on one line always print the same way. *)
@@ -42,6 +51,8 @@ let status_name = function
   | Suppressed -> "suppressed"
   | Baselined -> "baselined"
 
+let severity_name = function Error -> "error" | Warning -> "warning" | Note -> "note"
+
 let to_string t = Printf.sprintf "%s:%d:%d: %s %s" t.file t.line t.col t.rule t.msg
 
 let to_json (t, status) =
@@ -51,6 +62,7 @@ let to_json (t, status) =
       ("file", Obs.Json.Str t.file);
       ("line", Obs.Json.Int t.line);
       ("col", Obs.Json.Int t.col);
+      ("severity", Obs.Json.Str (severity_name t.severity));
       ("msg", Obs.Json.Str t.msg);
       ("status", Obs.Json.Str (status_name status));
     ]

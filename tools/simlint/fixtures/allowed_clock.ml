@@ -1,0 +1,5 @@
+(* Fixture: a wall-clock source that tests put on the D001 allowlist.
+   Allowlisted, neither the direct D001 nor any downstream D010 may fire;
+   without the allowlist both do. *)
+
+let stamp () = Unix.gettimeofday ()

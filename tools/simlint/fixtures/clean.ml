@@ -1,10 +1,11 @@
 (* simlint: allow D005 — fixture file, deliberately interface-free *)
 (* Fixture: compliant code — no other rule may fire. *)
 
-let tbl : (int, string) Hashtbl.t = Hashtbl.create 8
+let make_tbl () : (int, string) Hashtbl.t = Hashtbl.create 8
 
-let sorted_bindings () =
+let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
 let structural_eq a b = a = b
-let lookup k = Hashtbl.find_opt tbl k
+let lookup tbl k = Hashtbl.find_opt tbl k
+let named_handler f = try f () with Not_found -> 0

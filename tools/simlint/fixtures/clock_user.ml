@@ -1,0 +1,4 @@
+(* Fixture: consumes Allowed_clock.stamp from another file. Tainted (D010)
+   exactly when allowed_clock.ml is NOT on the wall-clock allowlist. *)
+
+let tag () = Allowed_clock.stamp ()

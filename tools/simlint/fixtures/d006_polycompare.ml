@@ -1,0 +1,11 @@
+(* Fixture: D006 fires on polymorphic compare/hash over structured state
+   and stays silent on scalar compares and comparators passed as values. *)
+
+let key x = Hashtbl.hash x
+let pair_eq a b = (a, b) = (1, 2)
+let opt_ne o x = o <> Some x
+let cmp_lists l = compare l [ 1; 2 ]
+
+(* ok: scalar operands, and a comparator used as a value *)
+let scalar_eq a b = a = b
+let sorted l = List.sort compare l

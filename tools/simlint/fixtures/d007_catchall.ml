@@ -1,0 +1,7 @@
+(* Fixture: D007 flags catch-all exception handlers; named ones are fine. *)
+
+let swallow f = try f () with _ -> 0
+let partial f = try f () with Failure _ -> 1 | _ -> 2
+
+(* ok: names the exception it can actually handle *)
+let named f = try f () with Not_found -> 3

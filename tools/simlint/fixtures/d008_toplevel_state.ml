@@ -1,0 +1,13 @@
+(* Fixture: D008 flags module-level mutable state (including in nested
+   modules); per-call allocation inside a function is fine. *)
+
+let counter = ref 0
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+module Nested = struct
+  let queue : int Queue.t = Queue.create ()
+end
+
+(* ok: created per call *)
+let fresh () = Hashtbl.create 16
+let bump c = incr c

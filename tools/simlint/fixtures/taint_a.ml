@@ -1,0 +1,4 @@
+(* Fixture: the taint SOURCE file. The direct D002 fires here; the
+   interesting part is that Taint_b/Taint_c inherit D010 from it. *)
+
+let roll () = Random.int 6

@@ -1,0 +1,4 @@
+(* Fixture: the laundering helper — no nondeterminism of its own, but its
+   result depends on Taint_a.roll in another file, so D010 fires here. *)
+
+let wrapped () = Taint_a.roll () + 1

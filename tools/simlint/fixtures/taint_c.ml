@@ -1,0 +1,8 @@
+(* Fixture: the SINK, two hops from the source. D010 must report the full
+   chain Taint_c.use -> Taint_b.wrapped -> Taint_a.roll, and the justified
+   sink below must classify as suppressed, not open. *)
+
+let use () = Taint_b.wrapped () * 2
+
+(* simlint: allow D010 — verifying per-site suppression of a tainted sink *)
+let justified () = Taint_b.wrapped () mod 2

@@ -1,11 +1,15 @@
 (* simlint — determinism & simulation-hygiene linter.
 
-   Usage: simlint [--root DIR] [--baseline FILE] [--json] [--force-lib] [DIR ...]
+   Usage: simlint [--root DIR] [--baseline FILE] [--json] [--sarif FILE]
+                  [--baseline-update] [--force-lib] [DIR ...]
 
    Scans lib/ bin/ bench/ stress/ under the root by default. Exits 0 when no
-   open (non-suppressed, non-baselined) finding remains, 1 otherwise, 2 on
-   usage or I/O errors. [--json] prints the canonical simlint-report/1
-   document instead of human text. *)
+   open (non-suppressed, non-baselined) finding remains AND no baseline
+   entry is stale, 1 otherwise, 2 on usage or I/O errors. [--json] prints
+   the canonical simlint-report/1 document instead of human text; [--sarif]
+   additionally writes a SARIF 2.1.0 document for CI annotation.
+   [--baseline-update] regenerates the baseline file deterministically from
+   the current findings (everything not suppressed in-source) and exits 0. *)
 
 open Simlint
 
@@ -13,6 +17,8 @@ let () =
   let root = ref "." in
   let baseline_path = ref "" in
   let json = ref false in
+  let sarif_path = ref "" in
+  let baseline_update = ref false in
   let force_lib = ref false in
   let dirs = ref [] in
   let spec =
@@ -23,22 +29,46 @@ let () =
         "FILE baseline.json of grandfathered findings (default \
          <root>/tools/simlint/baseline.json when present)" );
       ("--json", Arg.Set json, " emit the canonical simlint-report/1 JSON document");
+      ("--sarif", Arg.Set_string sarif_path, "FILE also write a SARIF 2.1.0 report to FILE");
+      ( "--baseline-update",
+        Arg.Set baseline_update,
+        " regenerate the baseline file from current findings and exit 0" );
       ( "--force-lib",
         Arg.Set force_lib,
-        " apply lib-only rules (D004/D005) to every scanned file" );
+        " apply lib-only rules (D004/D005/D006/D007/D008) to every scanned file" );
     ]
   in
-  let usage = "simlint [--root DIR] [--baseline FILE] [--json] [DIR ...]" in
+  let usage = "simlint [--root DIR] [--baseline FILE] [--json] [--sarif FILE] [DIR ...]" in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
   let dirs = if !dirs = [] then Driver.default_dirs else List.rev !dirs in
-  let baseline =
-    let path =
-      if !baseline_path <> "" then Some !baseline_path
-      else
-        let default = Filename.concat !root "tools/simlint/baseline.json" in
-        if Sys.file_exists default then Some default else None
+  let default_baseline = Filename.concat !root "tools/simlint/baseline.json" in
+  let baseline_file =
+    if !baseline_path <> "" then Some !baseline_path
+    else if Sys.file_exists default_baseline then Some default_baseline
+    else None
+  in
+  if !baseline_update then begin
+    (* Regenerate from a baseline-free run: every finding that is not
+       suppressed in-source becomes an entry, in canonical report order. *)
+    let result =
+      try Driver.run ~dirs ~force_lib:!force_lib ~root:!root ()
+      with e ->
+        Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
+        exit 2
     in
-    match path with
+    let path = Option.value ~default:default_baseline baseline_file in
+    let entries = Driver.to_baseline result in
+    (try Baseline.write ~path entries
+     with e ->
+       Printf.eprintf "simlint: cannot write baseline %s: %s\n" path (Printexc.to_string e);
+       exit 2);
+    Printf.printf "simlint: wrote %d baseline entr%s to %s\n" (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      path;
+    exit 0
+  end;
+  let baseline =
+    match baseline_file with
     | None -> Baseline.empty
     | Some p -> (
         try Baseline.load p
@@ -52,6 +82,12 @@ let () =
       Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
       exit 2
   in
+  if !sarif_path <> "" then begin
+    try Sarif.write ~path:!sarif_path result.Driver.findings
+    with e ->
+      Printf.eprintf "simlint: cannot write SARIF %s: %s\n" !sarif_path (Printexc.to_string e);
+      exit 2
+  end;
   if !json then print_endline (Obs.Json.to_string (Driver.to_json result))
   else Driver.print_human Format.std_formatter result;
-  exit (if Driver.open_findings result = [] then 0 else 1)
+  exit (if Driver.gate_ok result then 0 else 1)

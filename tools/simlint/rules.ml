@@ -20,9 +20,28 @@
    D004  [Obj.magic] and physical equality [==] / [!=] in lib code. Physical
          equality distinguishes structurally equal values, so results depend
          on sharing decisions the GC and optimiser are free to change.
+   D006  polymorphic compare/hash on non-scalar simulation state, lib only:
+         [=] / [<>] / [compare] applied to a syntactically structured operand
+         (tuple, record, array, non-empty list, constructor or variant with a
+         payload), and any use of [Hashtbl.hash]/[Hashtbl.seeded_hash]/
+         [Hashtbl.hash_param]. Polymorphic compare on structured state walks
+         representation details (and raises on closures); the hash is an
+         implementation artefact of the runtime. Typed comparators or pattern
+         matching say what is actually meant.
+   D007  catch-all [try ... with _ ->] in lib code. A wildcard handler
+         swallows everything, including monitor-violation and invariant
+         exceptions the harness relies on to fail loudly; name the exceptions
+         the site can genuinely handle.
+   D008  module-level mutable state in lib: a structure-top-level [let] bound
+         to [ref ...], [Hashtbl.create ...], [Queue.create]/[Stack.create]/
+         [Buffer.create]/[Bytes.create]/[Vec.create] or [Array.make].
+         Campaign drivers run many engines in one process; state that lives
+         at module level leaks between back-to-back runs, so run state must
+         hang off the engine/component instance.
 
-   (D005 — lib module missing its .mli — is a file-set rule and lives in
-   [Driver], not here.)
+   (D005 — lib module missing its .mli — is a file-set rule, and D010 —
+   interprocedural nondeterminism taint — needs the whole-project call
+   graph; both live outside this per-file walk, in [Driver] and [Taint].)
 
    The walk is purely syntactic: module aliasing or [open Unix] can evade
    path matching. That is acceptable for a hygiene gate — the point is to
@@ -37,6 +56,29 @@ type config = {
 
 let sort_heads = [ "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort" ]
 let wallclock = [ "Unix.gettimeofday"; "Unix.time"; "Unix.localtime"; "Unix.gmtime"; "Sys.time" ]
+let poly_hash = [ "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param" ]
+
+let mutable_heads =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Stack.create"; "Buffer.create"; "Bytes.create";
+    "Vec.create"; "Dsim.Vec.create"; "Array.make";
+  ]
+
+(* One row per rule id: short description used by the SARIF [rules] array and
+   the DESIGN.md table. Kept here so adding a rule forces the metadata. *)
+let catalog =
+  [
+    ("D001", "wall-clock access outside Obs.Instrument");
+    ("D002", "ambient randomness outside the seeded Dsim.Prng");
+    ("D003", "Hashtbl traversal order escapes unsorted");
+    ("D004", "Obj.magic or physical equality in lib code");
+    ("D005", "lib module without an .mli interface");
+    ("D006", "polymorphic compare/hash on non-scalar simulation state");
+    ("D007", "catch-all exception handler in lib code");
+    ("D008", "module-level mutable state in lib code");
+    ("D010", "result depends on a nondeterminism source in another file");
+    ("E000", "source file failed to parse");
+  ]
 
 let rec flatten (li : Longident.t) =
   match li with
@@ -83,6 +125,18 @@ let run (cfg : config) (str : Parsetree.structure) : Finding.t list =
     | _ -> ()
   in
   let is_sort e = match head_path e with Some p -> List.mem p sort_heads | None -> false in
+  (* D006: operands whose shape alone proves the compare is structural.
+     Purely syntactic, so `a = b` on idents of a record type slips through —
+     the rule exists to catch the spelled-out cases reviewers actually see. *)
+  let rec structured (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with
+    | Parsetree.Pexp_tuple _ | Parsetree.Pexp_record _ | Parsetree.Pexp_array _ -> true
+    | Parsetree.Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> true
+    | Parsetree.Pexp_construct (_, Some _) -> true
+    | Parsetree.Pexp_variant (_, Some _) -> true
+    | Parsetree.Pexp_constraint (inner, _) -> structured inner
+    | _ -> false
+  in
   let check_ident ~loc path =
     if List.mem path wallclock || path = "gettimeofday" then begin
       if not cfg.wallclock_ok then
@@ -104,6 +158,14 @@ let run (cfg : config) (str : Parsetree.structure) : Finding.t list =
           (Printf.sprintf
              "physical equality `%s` in lib code depends on sharing; use structural \
               (=)/(<>)"
+             path)
+    end
+    else if List.mem path poly_hash then begin
+      if cfg.lib then
+        report ~loc "D006"
+          (Printf.sprintf
+             "`%s` bakes the runtime's representation hash into behaviour; derive an \
+              explicit key instead"
              path)
     end
     else if path = "Hashtbl.iter" then
@@ -129,12 +191,35 @@ let run (cfg : config) (str : Parsetree.structure) : Finding.t list =
             List.iter (fun (_, a) -> sanction a) args
         | _ -> ());
         (* D002: Hashtbl.create ~random:... *)
-        match path_of_expr f with
+        (match path_of_expr f with
         | Some "Hashtbl.create"
           when List.exists (fun (l, _) -> l = Asttypes.Labelled "random") args ->
             report ~loc:e.Parsetree.pexp_loc "D002"
               "Hashtbl.create ~random randomizes iteration order across runs"
+        | _ -> ());
+        (* D006: polymorphic compare applied to a structured operand. *)
+        match path_of_expr f with
+        | Some (("=" | "<>" | "compare") as op)
+          when cfg.lib
+               && List.exists
+                    (fun (l, a) -> l = Asttypes.Nolabel && structured a)
+                    args ->
+            report ~loc:e.Parsetree.pexp_loc "D006"
+              (Printf.sprintf
+                 "polymorphic `%s` on structured state; pattern-match or use a typed \
+                  comparator"
+                 op)
         | _ -> ())
+    | Parsetree.Pexp_try (_, cases) when cfg.lib ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+            | Parsetree.Ppat_any ->
+                report ~loc:c.Parsetree.pc_lhs.Parsetree.ppat_loc "D007"
+                  "catch-all `with _` swallows monitor violations; name the exceptions \
+                   this site can handle"
+            | _ -> ())
+          cases
     | Parsetree.Pexp_ident { txt; _ } -> (
         match path_of_ident txt with
         | Some p -> check_ident ~loc:e.Parsetree.pexp_loc p
@@ -163,4 +248,39 @@ let run (cfg : config) (str : Parsetree.structure) : Finding.t list =
   in
   let it = { Ast_iterator.default_iterator with expr; open_declaration; module_binding } in
   it.Ast_iterator.structure it str;
+  (* D008: a dedicated walk over structure items (not the expression
+     iterator), so it descends into nested [module S = struct .. end] but
+     never into expressions — a function-local [let module] allocates per
+     call and is fine. Functor bodies are skipped for the same reason:
+     their state is per-application. *)
+  let rec peel (e : Parsetree.expression) =
+    match e.Parsetree.pexp_desc with Parsetree.Pexp_constraint (inner, _) -> peel inner | _ -> e
+  in
+  let rec scan_items items = List.iter scan_item items
+  and scan_item (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, bindings) when cfg.lib ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match head_path (peel vb.Parsetree.pvb_expr) with
+            | Some h when List.mem h mutable_heads ->
+                report ~loc:vb.Parsetree.pvb_loc "D008"
+                  (Printf.sprintf
+                     "module-level `%s` persists across campaign runs in one process; \
+                      hang run state off the engine or component instance"
+                     h)
+            | _ -> ())
+          bindings
+    | Parsetree.Pstr_module mb -> scan_mod mb.Parsetree.pmb_expr
+    | Parsetree.Pstr_recmodule mbs ->
+        List.iter (fun (mb : Parsetree.module_binding) -> scan_mod mb.Parsetree.pmb_expr) mbs
+    | Parsetree.Pstr_include i -> scan_mod i.Parsetree.pincl_mod
+    | _ -> ()
+  and scan_mod (m : Parsetree.module_expr) =
+    match m.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure s -> scan_items s
+    | Parsetree.Pmod_constraint (inner, _) -> scan_mod inner
+    | _ -> ()
+  in
+  scan_items str;
   List.rev !findings

@@ -1,0 +1,84 @@
+(* Interprocedural nondeterminism taint (rule D010).
+
+   Seeds come from [Callgraph]: every direct touch of a nondeterminism
+   source inside some top-level binding taints that binding. Taint then
+   propagates caller-ward over the call graph to a fixpoint, and every call
+   site in a lib file whose callee is tainted by a source in *another* file
+   yields a D010 finding carrying the full sink -> ... -> source chain.
+
+   Direct sites in the same file are deliberately not reported here — the
+   per-file rules (D001/D002/D003) already flag them where they stand. D010
+   exists for the laundering case those rules cannot see: a helper in one
+   file wrapping the source, consumed from somewhere else. A suppressed
+   direct site still seeds taint — the suppression justifies the local use,
+   not every caller's transitive dependence on it — and each D010 sink can
+   carry its own [simlint: allow D010] justification.
+
+   Everything is deterministic: nodes, edges and seeds arrive sorted, the
+   breadth-first propagation processes them in that order, and ties between
+   several chains into one node are broken by the sorted queue, so the
+   reported chain is stable across runs and machines. *)
+
+type chain = {
+  trail : string list;  (** node ids, this node first, seed-owning node last *)
+  source : string;  (** offending path, e.g. "Random.int" *)
+  source_file : string;
+  source_line : int;
+}
+
+(* Fixpoint: chain per tainted node. *)
+let propagate (g : Callgraph.t) : (string, chain) Hashtbl.t =
+  let tainted : (string, chain) Hashtbl.t = Hashtbl.create 64 in
+  (* Reverse adjacency: callee -> call sites, in sorted edge order. *)
+  let callers : (string, Callgraph.edge) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (e : Callgraph.edge) -> Hashtbl.add callers e.Callgraph.callee e) g.Callgraph.edges;
+  let callers_of id = List.rev (Hashtbl.find_all callers id) in
+  let queue = Queue.create () in
+  List.iter
+    (fun (s : Callgraph.seed) ->
+      if not (Hashtbl.mem tainted s.Callgraph.node) then begin
+        Hashtbl.replace tainted s.Callgraph.node
+          {
+            trail = [ s.Callgraph.node ];
+            source = s.Callgraph.source;
+            source_file = s.Callgraph.file;
+            source_line = s.Callgraph.line;
+          };
+        Queue.add s.Callgraph.node queue
+      end)
+    g.Callgraph.seeds;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let c = Hashtbl.find tainted id in
+    List.iter
+      (fun (e : Callgraph.edge) ->
+        if not (Hashtbl.mem tainted e.Callgraph.caller) then begin
+          Hashtbl.replace tainted e.Callgraph.caller { c with trail = e.Callgraph.caller :: c.trail };
+          Queue.add e.Callgraph.caller queue
+        end)
+      (callers_of id)
+  done;
+  tainted
+
+let findings (g : Callgraph.t) : Finding.t list =
+  let tainted = propagate g in
+  let reported : (string * int * int * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (fun (e : Callgraph.edge) ->
+      match (Callgraph.find_node g e.Callgraph.caller, Hashtbl.find_opt tainted e.Callgraph.callee) with
+      | Some caller_node, Some c
+        when caller_node.Callgraph.lib
+             && c.source_file <> caller_node.Callgraph.file
+             && not (Hashtbl.mem reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col, e.Callgraph.callee)) ->
+          Hashtbl.replace reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col, e.Callgraph.callee) ();
+          let chain = String.concat " -> " (e.Callgraph.caller :: c.trail) in
+          Some
+            (Finding.make ~rule:"D010" ~file:e.Callgraph.file ~line:e.Callgraph.line
+               ~col:e.Callgraph.col
+               ~msg:
+                 (Printf.sprintf
+                    "call chain %s reaches nondeterminism source `%s` (%s:%d); route it \
+                     through the engine PRNG/Context or justify the sink"
+                    chain c.source c.source_file c.source_line))
+      | _ -> None)
+    g.Callgraph.edges
