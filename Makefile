@@ -3,7 +3,12 @@
 # determinism gate, and a 10k-tick end-to-end smoke that a run report is
 # written and parses.
 
-.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke clean
+.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke bench-smoke clean
+
+# Worker count for the parallel targets below. Results are byte-identical
+# for any J (see DESIGN.md, "Parallel execution & determinism contract"),
+# so this only affects wall-clock.
+J ?= 2
 
 all: build
 
@@ -37,12 +42,19 @@ smoke: build
 	dune exec bin/dinersim.exe -- report /tmp/dinersim-smoke.json
 
 # Bounded schedule-fuzzing campaign over the real algorithms (fixed root
-# seed, so the exact same configs every time). Exits non-zero if any run
-# violates a dining property.
+# seed, so the exact same configs every time; -j only changes wall-clock,
+# never the report body). Exits non-zero if any run violates a dining
+# property.
 fuzz-smoke: build
 	dune exec bin/dinersim.exe -- fuzz --runs 200 --seed 0xF5EED --max-horizon 6000 \
-		--report /tmp/dinersim-fuzz-smoke.json
+		-j $(J) --report /tmp/dinersim-fuzz-smoke.json
 	dune exec bin/dinersim.exe -- report /tmp/dinersim-fuzz-smoke.json
+
+# Refresh the committed benchmark snapshot. Medians over --trials runs;
+# the extra trials execute on the worker pool, and the recorded `jobs`
+# field documents the pool width used for the refresh.
+bench-smoke: build
+	dune exec bench/main.exe -- --trials 3 -j $(J)
 
 check: fmt build test lint smoke fuzz-smoke
 	@echo "check: OK"

@@ -52,6 +52,39 @@ let bench_trace_scan () =
     (Staged.stage (fun () ->
          ignore (Dining.Monitor.exclusion_violations trace ~instance:"dx" ~graph ~horizon:5000)))
 
+let bench_deliver_backlog () =
+  (* Regression bench for the deliver_ripe rewrite: with a wide delay
+     spread the in-flight map holds one bucket per future tick, and the
+     old per-step [Pidmap.partition] walked every bucket whether ripe or
+     not. Peeling ripe buckets off [min_binding] keeps the step cost
+     proportional to what is actually delivered; this bench collapses if
+     the whole-map scan ever comes back. *)
+  let n = 8 in
+  let engine =
+    prepared_engine (fun () ->
+        let engine =
+          Engine.create ~seed:6L ~retain_trace:false ~n
+            ~adversary:(Adversary.async_uniform ~max_delay:600 ()) ()
+        in
+        for pid = 0 to n - 1 do
+          let ctx = Engine.ctx engine pid in
+          Engine.register engine pid
+            (Component.make ~name:"flood"
+               ~actions:
+                 [
+                   Component.action "spray"
+                     ~guard:(fun () -> true)
+                     ~body:(fun () ->
+                       let dst = Prng.int ctx.Context.rng ~bound:n in
+                       ctx.Context.send ~dst ~tag:"flood" Msg.Unit_msg);
+                 ]
+               ())
+        done;
+        engine)
+  in
+  Test.make ~name:"engine-step flood-backlog n=8 delay<=600"
+    (Staged.stage (fun () -> Engine.step engine))
+
 let bench_prng () =
   let rng = Prng.create 9L in
   Test.make ~name:"prng next_int64" (Staged.stage (fun () -> ignore (Prng.next_int64 rng)))
@@ -64,6 +97,7 @@ let run () =
       bench_engine_idle ();
       bench_engine_dining ();
       bench_engine_extraction ();
+      bench_deliver_backlog ();
       bench_oracle_query ();
       bench_trace_scan ();
     ]

@@ -844,7 +844,11 @@ let families_of_strings = function
               exit 2)
         l
 
-let run_fuzz seed runs max_repros max_horizon families algos out corpus report_path =
+let run_fuzz seed runs max_repros max_horizon families algos jobs out corpus report_path =
+  if jobs < 1 then begin
+    Printf.eprintf "dinersim: --jobs must be at least 1 (got %d)\n" jobs;
+    exit 2
+  end;
   let registry = Check.Runner.default_registry in
   let families = families_of_strings families in
   let algos =
@@ -876,9 +880,10 @@ let run_fuzz seed runs max_repros max_horizon families algos out corpus report_p
         (String.concat ", " o.Check.Runner.failed)
         (Check.Config.describe c)
   in
-  let result =
-    Check.Campaign.run ~runs ~max_repros ~max_horizon ~families ~algos ~on_run
-      ?corpus:corpus_cb ~registry ~root_seed:seed ()
+  let result, total_s =
+    Obs.Instrument.time (fun () ->
+        Check.Campaign.run ~runs ~max_repros ~max_horizon ~families ~algos ~on_run
+          ?corpus:corpus_cb ~jobs ~registry ~root_seed:seed ())
   in
   List.iter
     (fun (v : Check.Campaign.violation) ->
@@ -902,7 +907,7 @@ let run_fuzz seed runs max_repros max_horizon families algos out corpus report_p
   Option.iter
     (fun path ->
       io_or_die "report" (fun () ->
-          Obs.Report.write ~path (Check.Campaign.summary ~cmd:"fuzz" result));
+          Obs.Report.write ~path (Check.Campaign.summary ~total_s ~cmd:"fuzz" result));
       Printf.printf "report written to %s\n" path)
     report_path;
   if result.Check.Campaign.violations <> [] then exit 1
@@ -939,10 +944,20 @@ let fuzz_cmd =
       value & opt (some string) None
       & info [ "corpus" ] ~docv:"DIR" ~doc:"Also save a replayable artifact for every run.")
   in
+  let jobs_t =
+    Arg.(
+      value
+      & opt int (Exec.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the campaign (default: the recommended domain count). \
+             Verdicts, repro artifacts and the canonical report body are byte-identical \
+             for every value; only wall-clock timings differ.")
+  in
   let term =
     Term.(
       const run_fuzz $ seed_t $ runs_t $ max_repros_t $ max_horizon_t $ families_t $ algos_t
-      $ out_t $ corpus_t $ report_t)
+      $ jobs_t $ out_t $ corpus_t $ report_t)
   in
   Cmd.v
     (Cmd.info "fuzz"

@@ -10,9 +10,12 @@ type violation = {
 type t = {
   root_seed : int64;
   runs : int;
+  jobs : int;
   violations : violation list;
   knobs : (string * Obs.Json.t) list;
   entries : Obs.Json.t list;
+  metrics : Obs.Metrics.t;
+  run_walls : float array;
 }
 
 let violation_entry v =
@@ -37,43 +40,64 @@ let violation_entry v =
     | None -> [])
 
 let run ?(runs = 100) ?(max_repros = 3) ?(max_horizon = 6000) ?(families = Config.all_families)
-    ?algos ?config_budget ?decision_budget ?on_run ?corpus ~registry ~root_seed () =
+    ?algos ?config_budget ?decision_budget ?on_run ?corpus ?(jobs = 1) ~registry ~root_seed ()
+    =
   if runs < 0 then invalid_arg "Campaign.run: runs < 0";
   let algos =
     match algos with Some a -> a | None -> List.map fst (registry : Runner.registry)
   in
   if algos = [] then invalid_arg "Campaign.run: empty algorithm list";
   if families = [] then invalid_arg "Campaign.run: empty family list";
-  let rng = Prng.create root_seed in
+  (* Phase 1 — the embarrassingly parallel part. Run [index] derives its
+     whole PRNG stream from [(root_seed, index)] (not from a sequentially
+     stateful split chain), so any worker can execute any index and produce
+     the same config, the same engine run and the same verdicts: the merged
+     result is independent of [jobs] and of domain scheduling. Each run
+     fills its own metrics registry; only the per-run wall-clock below is
+     allowed to differ between invocations. *)
+  let results =
+    Exec.Pool.map ~jobs runs (fun index ->
+        let crng = Prng.derive root_seed ~index in
+        let config = Config.generate crng ~algos ~families ~max_horizon in
+        let metrics = Obs.Metrics.create () in
+        let outcome, wall_s =
+          Obs.Instrument.time (fun () -> Runner.run ~metrics ~registry config)
+        in
+        (config, outcome, metrics, wall_s))
+  in
+  (* Phase 2 — sequential, in run-index order: observer callbacks, metrics
+     merge, and shrinking. Shrinking stays on the calling domain so the
+     set of shrunk violations (the first [max_repros] by index) and every
+     shrink search are bit-identical to a single-domain campaign. *)
+  let metrics = Obs.Metrics.create () in
   let violations = ref [] in
   let shrunk = ref 0 in
-  for index = 0 to runs - 1 do
-    (* Each run draws from a split child stream, so the sequence of
-       generated configs is independent of how much randomness any one
-       config consumes. *)
-    let crng = Prng.split rng in
-    let config = Config.generate crng ~algos ~families ~max_horizon in
-    let outcome = Runner.run ~registry config in
-    (match on_run with Some f -> f index config outcome | None -> ());
-    (match corpus with
-    | Some f ->
-        (* A natural run needs no decision overrides: replaying with an
-           empty table reproduces it exactly. *)
-        f index (Repro.v ~config ~len:0 ~overrides:[] ~checks:outcome.Runner.checks)
-    | None -> ());
-    if outcome.Runner.failed <> [] then begin
-      let repro =
-        if !shrunk < max_repros then begin
-          incr shrunk;
-          Some (Shrink.counterexample ?config_budget ?decision_budget ~registry config)
-        end
-        else None
-      in
-      violations := { index; config; failed = outcome.Runner.failed; repro } :: !violations
-    end
-  done;
+  Array.iteri
+    (fun index (config, (outcome : Runner.outcome), m, _wall_s) ->
+      Obs.Metrics.merge ~into:metrics m;
+      (match on_run with Some f -> f index config outcome | None -> ());
+      (match corpus with
+      | Some f ->
+          (* A natural run needs no decision overrides: replaying with an
+             empty table reproduces it exactly. *)
+          f index (Repro.v ~config ~len:0 ~overrides:[] ~checks:outcome.Runner.checks)
+      | None -> ());
+      if outcome.Runner.failed <> [] then begin
+        let repro =
+          if !shrunk < max_repros then begin
+            incr shrunk;
+            Some (Shrink.counterexample ?config_budget ?decision_budget ~registry config)
+          end
+          else None
+        in
+        violations := { index; config; failed = outcome.Runner.failed; repro } :: !violations
+      end)
+    results;
   let violations = List.rev !violations in
   let knobs =
+    (* [jobs] is deliberately absent: the knobs are part of the canonical
+       summary body, which must be byte-identical across worker counts.
+       The jobs value is reported in the wall_clock section instead. *)
     [
       ("runs", Obs.Json.Int runs);
       ("max_repros", Obs.Json.Int max_repros);
@@ -87,11 +111,24 @@ let run ?(runs = 100) ?(max_repros = 3) ?(max_horizon = 6000) ?(families = Confi
   {
     root_seed;
     runs;
+    jobs;
     violations;
     knobs;
     entries = List.map violation_entry violations;
+    metrics;
+    run_walls = Array.map (fun (_, _, _, w) -> w) results;
   }
 
-let summary ?wall ~cmd t =
+let wall_json ?total_s t =
+  Obs.Json.Obj
+    ([ ("jobs", Obs.Json.Int t.jobs) ]
+    @ (match total_s with Some s -> [ ("total_s", Obs.Json.Float s) ] | None -> [])
+    @ [
+        ( "runs_s",
+          Obs.Json.Arr (Array.to_list (Array.map (fun w -> Obs.Json.Float w) t.run_walls)) );
+      ])
+
+let summary ?total_s ~cmd t =
   Obs.Report.make_campaign ~cmd ~root_seed:t.root_seed ~runs:t.runs
-    ~violations:(List.length t.violations) ~config:t.knobs ~entries:t.entries ?wall ()
+    ~violations:(List.length t.violations) ~config:t.knobs ~metrics:t.metrics
+    ~entries:t.entries ~wall:(wall_json ?total_s t) ()

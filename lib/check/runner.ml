@@ -72,7 +72,7 @@ let default_registry =
     ("ftme", ftme_builder);
   ]
 
-let run ?record ?replay ~registry (c : Config.t) =
+let run ?record ?replay ?metrics ~registry (c : Config.t) =
   (match (record, replay) with
   | Some _, Some _ -> invalid_arg "Runner.run: record and replay are exclusive"
   | _ -> ());
@@ -92,11 +92,15 @@ let run ?record ?replay ~registry (c : Config.t) =
     | Some _, Some _ -> assert false
   in
   let engine = Engine.create ~seed:c.Config.seed ~n ~adversary () in
+  (* Instrumentation must be installed before components register so its
+     on_tick hook and trace subscriber see the whole run. *)
+  let inst = Option.map (fun metrics -> Obs.Instrument.install ~metrics engine) metrics in
   builder engine ~graph ~instance ~eat_ticks:c.Config.eat_ticks;
   List.iter
     (fun (pid, at) -> if pid >= 0 && pid < n then Engine.schedule_crash engine pid ~at)
     c.Config.crashes;
   Engine.run engine ~until:c.Config.horizon;
+  Option.iter Obs.Instrument.finalize inst;
   let trace = Engine.trace engine in
   let horizon = c.Config.horizon in
   let checks =

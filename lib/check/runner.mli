@@ -35,11 +35,15 @@ val default_registry : registry
 val run :
   ?record:Adversary.tape ->
   ?replay:int * (int * Adversary.decision) list ->
+  ?metrics:Obs.Metrics.t ->
   registry:registry ->
   Config.t ->
   outcome
 (** Execute the config. [record] wraps the adversary so its decision
     sequence is captured; [replay] drives the first [len] adversary queries
     from the given positional overrides (see {!Adversary.replay}). The two
-    are mutually exclusive. Raises [Failure] on an algorithm name missing
-    from the registry. *)
+    are mutually exclusive. [metrics] installs the standard
+    {!Obs.Instrument} engine instrumentation into the given registry
+    (finalized before returning) — campaign drivers give each run its own
+    registry and merge them in run-index order. Raises [Failure] on an
+    algorithm name missing from the registry. *)

@@ -8,6 +8,37 @@ let parse_seed s =
 
 let seed_to_string = Printf.sprintf "0x%Lx"
 
+let parse_int ~what s =
+  let s = String.trim s in
+  if s = "" then Error (Printf.sprintf "empty %s" what)
+  else
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad %s %S (integer expected)" what s)
+
+let extract_int_flag ~names ~default args =
+  let what = String.concat "/" names in
+  let inline_value a =
+    match String.index_opt a '=' with
+    | Some i when List.mem (String.sub a 0 i) names ->
+        Some (String.sub a (i + 1) (String.length a - i - 1))
+    | _ -> None
+  in
+  let rec go acc v = function
+    | [] -> Ok (v, List.rev acc)
+    | a :: rest when List.mem a names -> (
+        match rest with
+        | x :: rest -> (
+            match parse_int ~what x with Ok n -> go acc n rest | Error e -> Error e)
+        | [] -> Error (Printf.sprintf "%s expects a value" a))
+    | a :: rest -> (
+        match inline_value a with
+        | Some s -> (
+            match parse_int ~what s with Ok n -> go acc n rest | Error e -> Error e)
+        | None -> go (a :: acc) v rest)
+  in
+  go [] default args
+
 let extract_seed_flag ~default args =
   let rec go acc seed = function
     | [] -> Ok (seed, List.rev acc)

@@ -18,3 +18,11 @@ val extract_seed_flag : default:int64 -> string list -> (int64 * string list, st
 (** Pull a [--seed V] or [--seed=V] flag (last occurrence wins) out of a raw
     argument list, returning the seed and the remaining arguments — for
     executables that do their own minimal argv handling. *)
+
+val extract_int_flag :
+  names:string list -> default:int -> string list -> (int * string list, string) result
+(** Pull an integer flag out of a raw argument list: any spelling in
+    [names] ([--jobs N], [--jobs=N], [-j N]), last occurrence wins.
+    Returns the value and the remaining arguments. Used for the worker
+    count ([-j]) and trial count flags of [stress/sweep.exe] and
+    [bench/main.exe]. *)

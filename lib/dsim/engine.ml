@@ -26,7 +26,7 @@ and t = {
       (* keyed by delivery time (an int map); buckets are built by consing *)
   mutable flight_count : int;
   tr : Trace.t;
-  mutable hooks : (unit -> unit) list;
+  hooks : (unit -> unit) Vec.t; (* registration order *)
   mutable sent_total : int;
   sent_by_tag : (string, int) Hashtbl.t;
 }
@@ -55,7 +55,7 @@ let create ?(seed = 0xC0FFEEL) ?(retain_trace = true) ~n ~adversary () =
     in_flight = Types.Pidmap.empty;
     flight_count = 0;
     tr = Trace.create ~retain:retain_trace ();
-    hooks = [];
+    hooks = Vec.create ();
     sent_total = 0;
     sent_by_tag = Hashtbl.create 32;
   }
@@ -107,7 +107,12 @@ let reflatten p =
     (List.concat_map
        (fun (c : Component.t) -> Array.to_list c.actions |> List.map (fun a -> (c, a)))
        p.components
-    |> Array.of_list)
+    |> Array.of_list);
+  (* The cursor indexed the *previous* flat layout; re-anchor the
+     weak-fairness rotation at the start of the new one so a mid-run
+     registration resumes from a well-defined action rather than wherever
+     the old rotation happened to stop. *)
+  p.cursor <- 0
 
 let register t pid comp =
   let p = t.procs.(pid) in
@@ -162,23 +167,37 @@ let sent_by_tag t =
   Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) t.sent_by_tag []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let on_tick t f = t.hooks <- t.hooks @ [ f ]
+(* Hooks run in registration order; a Vec keeps registration O(1) amortised
+   where the previous [t.hooks <- t.hooks @ [f]] re-copied the whole list,
+   quadratic in hook count. *)
+let on_tick t f = Vec.add_last t.hooks f
 
+let deliver_bucket t pkts =
+  (* Buckets were built by consing; restore send order within the tick
+     (order is irrelevant for correctness — channels are non-FIFO — but
+     determinism must not depend on map internals). *)
+  List.iter
+    (fun pkt ->
+      t.flight_count <- t.flight_count - 1;
+      let p = t.procs.(pkt.dst) in
+      if p.alive then Vec.add_last p.inbox pkt)
+    (List.rev pkts)
+
+(* Peel ripe buckets off the cheap end of the map. [partition] walks the
+   whole in-flight map — cost proportional to the number of distinct future
+   delivery times — every tick; [min_binding] visits exactly the ripe
+   buckets (usually zero or one) plus one O(log n) probe, and yields them in
+   the same ascending-time order partition did. *)
 let deliver_ripe t =
-  let ripe, rest = Types.Pidmap.partition (fun at _ -> at <= t.clock) t.in_flight in
-  t.in_flight <- rest;
-  Types.Pidmap.iter
-    (fun _ pkts ->
-      (* Buckets were built by consing; restore send order within the tick
-         (order is irrelevant for correctness — channels are non-FIFO — but
-         determinism must not depend on map internals). *)
-      List.iter
-        (fun pkt ->
-          t.flight_count <- t.flight_count - 1;
-          let p = t.procs.(pkt.dst) in
-          if p.alive then Vec.add_last p.inbox pkt)
-        (List.rev pkts))
-    ripe
+  let rec peel () =
+    match Types.Pidmap.min_binding_opt t.in_flight with
+    | Some (at, pkts) when at <= t.clock ->
+        t.in_flight <- Types.Pidmap.remove at t.in_flight;
+        deliver_bucket t pkts;
+        peel ()
+    | Some _ | None -> ()
+  in
+  peel ()
 
 let route_receive (p : proc) pkt =
   match
@@ -248,7 +267,7 @@ let step t =
         if offered || forced then step_process t p
       end)
     order;
-  List.iter (fun f -> f ()) t.hooks
+  Vec.iter (fun f -> f ()) t.hooks
 
 let run t ~until =
   while t.clock < until do

@@ -19,6 +19,14 @@ let next_int64 t =
 
 let split t = create (next_int64 t)
 
+(* A splitmix64 step keyed by the index alone: the child stream for index
+   [i] is a pure function of [(seed, i)], unlike [split] whose children
+   depend on how many draws preceded them. Campaign run [i] can therefore
+   be executed on any worker, in any order, and see the same stream. *)
+let derive seed ~index =
+  if index < 0 then invalid_arg "Prng.derive: index must be non-negative";
+  create (mix (Int64.add seed (Int64.mul golden_gamma (Int64.of_int (index + 1)))))
+
 let int t ~bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62. *)

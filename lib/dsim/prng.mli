@@ -16,6 +16,13 @@ val copy : t -> t
 val split : t -> t
 (** [split t] derives an independent child stream and advances [t]. *)
 
+val derive : int64 -> index:int -> t
+(** [derive seed ~index] is the [index]-th child stream of [seed], as a
+    pure function of the pair — no generator state is consumed, so two
+    callers derive identical streams regardless of execution order. This is
+    what parallel campaign drivers use to make run [i] independent of runs
+    [0..i-1]. Requires [index >= 0]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

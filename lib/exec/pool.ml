@@ -1,0 +1,57 @@
+(* Domain-based worker pool for embarrassingly parallel, *deterministic*
+   workloads.
+
+   The contract that keeps `-j N` byte-identical to `-j 1`:
+
+   - the caller supplies a pure-by-index task [f : int -> 'a]; every run's
+     inputs (PRNG stream, config, ...) must be derived from the index alone
+     (see [Dsim.Prng.derive]), never from state shared with other indices;
+   - results land in a pre-sized array slot owned by exactly one index, so
+     the merged output is in index order no matter which domain ran what;
+   - work is handed out by an atomic next-index counter (dynamic load
+     balancing); the schedule varies between runs, the results cannot;
+   - exceptions are deterministic too: after all domains join, the
+     lowest-index failure (if any) is re-raised in the caller's domain.
+
+   simlint's D009 rule polices the first clause: worker closures must not
+   reach module-level mutable state. *)
+
+type 'a outcome = Done of 'a | Raised of exn
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let clamp ~jobs n =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  min jobs (max 1 n)
+
+let map ?(jobs = 1) n f =
+  if n < 0 then invalid_arg "Pool.map: negative count";
+  let jobs = clamp ~jobs n in
+  if jobs = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (* Each slot is written by exactly one domain and read only after
+             the joins below, which publish the writes. *)
+          results.(i) <- Some (try Done (f i) with e -> Raised e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Done v) -> v
+        | Some (Raised e) -> raise e
+        | None -> assert false (* every index < n was claimed exactly once *))
+      results
+  end
+
+let iter ?jobs n f = ignore (map ?jobs n (fun i : unit -> f i))

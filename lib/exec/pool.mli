@@ -1,0 +1,24 @@
+(** Deterministic Domain-based worker pool.
+
+    [map ~jobs n f] evaluates [f i] for every [i] in [0 .. n-1] across
+    [jobs] domains and returns the results {e in index order}: the output
+    is a pure function of [f] and [n], independent of [jobs] and of the
+    scheduling of the underlying domains — provided [f] derives everything
+    it needs from its index (e.g. a {!Dsim.Prng.derive}d stream) and
+    touches no state shared across indices. simlint rule D009 polices the
+    latter for code in this repository.
+
+    Exceptions propagate deterministically: if any task raises, the
+    exception of the {e lowest} failing index is re-raised in the calling
+    domain after all workers have drained. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the `-j` default everywhere. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [[| f 0; f 1; ...; f (n-1) |]], computed on up to
+    [jobs] domains (default 1; clamped to [n]). Raises [Invalid_argument]
+    on [jobs < 1] or [n < 0]. *)
+
+val iter : ?jobs:int -> int -> (int -> unit) -> unit
+(** [iter ~jobs n f] is [map] with unit results. *)

@@ -64,6 +64,16 @@ let finalize st =
         (fun (tag, n) -> Metrics.set (Metrics.gauge st.metrics ("engine.sent." ^ tag)) n)
         (Engine.sent_by_tag st.engine)
 
+(* This module is the one sanctioned wall-clock reader (simlint D001):
+   other layers that need elapsed-seconds measurements for a report's
+   segregated wall_clock section route them through here. *)
+let now_s () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, now_s () -. t0)
+
 let wall_json st =
   finalize st;
   let elapsed = Option.value ~default:0.0 st.elapsed in

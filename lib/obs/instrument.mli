@@ -33,3 +33,11 @@ val finalize : t -> unit
 val wall_json : t -> Json.t
 (** [{"elapsed_s":...,"ticks":...,"ticks_per_s":...}] — nondeterministic,
     for the report's ["wall_clock"] section only. Finalizes if needed. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds. This module is the one sanctioned clock reader
+    (simlint D001): use this only for quantities that end up in a report's
+    segregated ["wall_clock"] section, never for anything canonical. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [(f (), elapsed wall seconds)] — same caveat as {!now_s}. *)

@@ -82,6 +82,44 @@ let observe h v =
   if v < h.min_v then h.min_v <- v;
   if v > h.max_v then h.max_v <- v
 
+(* Deterministic registry merge, for combining per-run (or per-worker)
+   registries into one report. Merge is order-sensitive only for gauges, so
+   callers merging in a canonical order (campaigns merge in run-index
+   order) get a canonical result:
+   - counters add;
+   - histograms add bucket-wise (bounds must agree) and combine n/sum/min/max;
+   - gauges are instantaneous quantities with no meaningful sum: the last
+     merged value wins, i.e. the highest-index run's snapshot. *)
+let merge ~into src =
+  let merge_item name item =
+    match (Hashtbl.find_opt into.tbl name, item) with
+    | None, Counter c -> Hashtbl.add into.tbl name (Counter { c = c.c })
+    | None, Gauge g -> Hashtbl.add into.tbl name (Gauge { g = g.g })
+    | None, Histogram h ->
+        Hashtbl.add into.tbl name
+          (Histogram { h with bounds = Array.copy h.bounds; counts = Array.copy h.counts })
+    | Some (Counter dst), Counter c -> dst.c <- dst.c + c.c
+    | Some (Gauge dst), Gauge g -> dst.g <- g.g
+    | Some (Histogram dst), Histogram h ->
+        if dst.bounds <> h.bounds then
+          invalid_arg (Printf.sprintf "Metrics.merge: histogram %S bucket bounds differ" name);
+        Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts;
+        dst.n <- dst.n + h.n;
+        dst.sum <- dst.sum + h.sum;
+        if h.min_v < dst.min_v then dst.min_v <- h.min_v;
+        if h.max_v > dst.max_v then dst.max_v <- h.max_v
+    | Some existing, _ ->
+        invalid_arg
+          (Printf.sprintf "Metrics.merge: %S is a %s in the target, a %s in the source" name
+             (kind_name existing) (kind_name item))
+  in
+  (* Hashtbl order is nondeterministic; visit names sorted so creation
+     order in [into] (hence nothing observable — to_json re-sorts — but
+     also any future iteration) is canonical. *)
+  Hashtbl.fold (fun name item acc -> (name, item) :: acc) src.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, item) -> merge_item name item)
+
 let latency_buckets = [ 1; 3; 10; 30; 100; 300; 1000; 3000; 10000; 30000 ]
 let depth_buckets = [ 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ]
 

@@ -34,6 +34,16 @@ val histogram : t -> string -> buckets:int list -> histogram
 
 val observe : histogram -> int -> unit
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters add, histograms add
+    bucket-wise (raises [Invalid_argument] if bucket bounds differ), and
+    gauges take the source value (last merge wins). Merging several
+    registries in a canonical order — campaign drivers merge per-run
+    registries in run-index order — therefore yields a canonical result
+    independent of which worker produced which registry. Raises
+    [Invalid_argument] when a name is registered with different kinds on
+    the two sides. [src] is not modified. *)
+
 val latency_buckets : int list
 (** Default tick-latency bucket bounds: 1, 3, 10, ... 30000. *)
 

@@ -69,7 +69,7 @@ let validate j =
 
 let campaign_schema_version = "dinersim-campaign/1"
 
-let make_campaign ~cmd ~root_seed ~runs ~violations ?(config = []) ~entries ?wall () =
+let make_campaign ~cmd ~root_seed ~runs ~violations ?(config = []) ?metrics ~entries ?wall () =
   Json.Obj
     [
       ("schema", Json.Str campaign_schema_version);
@@ -79,6 +79,8 @@ let make_campaign ~cmd ~root_seed ~runs ~violations ?(config = []) ~entries ?wal
       ("violations", Json.Int violations);
       ("config", Json.Obj config);
       ("entries", Json.Arr entries);
+      ( "metrics",
+        match metrics with Some m -> Metrics.to_json m | None -> Json.Obj [] );
       ("wall_clock", Option.value ~default:Json.Null wall);
     ]
 

@@ -77,10 +77,14 @@ val make_campaign :
   runs:int ->
   violations:int ->
   ?config:(string * Json.t) list ->
+  ?metrics:Metrics.t ->
   entries:Json.t list ->
   ?wall:Json.t ->
   unit ->
   Json.t
+(** [metrics] is the campaign's merged per-run registry snapshot — part of
+    the canonical body (it is deterministic in the root seed), unlike
+    ["wall_clock"]. Omitted, the field is an empty object. *)
 
 val read_campaign : path:string -> Json.t
 (** Parse and validate a campaign summary: schema tag, run/violation

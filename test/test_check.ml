@@ -162,6 +162,51 @@ let test_broken_variant_caught_and_shrunk () =
     (Check.Repro.digest r)
 
 (* ------------------------------------------------------------------ *)
+(* Worker pool & jobs-invariance *)
+
+let test_pool_map () =
+  let r = Exec.Pool.map ~jobs:4 100 (fun i -> i * i) in
+  Alcotest.(check int) "all slots filled" 100 (Array.length r);
+  Array.iteri (fun i v -> Alcotest.(check int) "slot holds f(index)" (i * i) v) r;
+  Alcotest.(check int) "n = 0 is fine" 0 (Array.length (Exec.Pool.map ~jobs:4 0 Fun.id));
+  Alcotest.check_raises "jobs < 1 rejected"
+    (Invalid_argument "Pool.map: jobs must be >= 1") (fun () ->
+      ignore (Exec.Pool.map ~jobs:0 4 Fun.id));
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Pool.map: negative count") (fun () ->
+      ignore (Exec.Pool.map ~jobs:2 (-1) Fun.id))
+
+let test_pool_exception_lowest_index () =
+  (* Several tasks fail; the caller sees the lowest index's exception, no
+     matter which domain hit which failure first. *)
+  Alcotest.check_raises "lowest failing index wins" (Failure "boom1") (fun () ->
+      ignore
+        (Exec.Pool.map ~jobs:4 10 (fun i ->
+             if i mod 3 = 1 then failwith (Printf.sprintf "boom%d" i) else i)))
+
+let test_campaign_jobs_invariance () =
+  (* The acceptance property of the parallel campaign: the summary's
+     canonical body — verdicts, entries, shrunk digests, merged metrics —
+     is byte-identical for every worker count. Runs over the broken
+     variant so the violation/shrink paths are exercised too. *)
+  let summary jobs =
+    let result =
+      Check.Campaign.run ~runs:60 ~max_repros:1 ~max_horizon:3000 ~jobs
+        ~algos:[ Broken_dining.algo ] ~registry:Broken_dining.registry ~root_seed:0xB40C0DEL
+        ()
+    in
+    Obs.Json.to_string_pretty
+      (Obs.Report.strip_wall_clock (Check.Campaign.summary ~cmd:"fuzz" result))
+  in
+  let reference = summary 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d canonical summary matches jobs=1" jobs)
+        reference (summary jobs))
+    [ 2; 7 ]
+
+(* ------------------------------------------------------------------ *)
 (* Corpus *)
 
 let family_seed = function `Sync -> 0xC0001L | `Async -> 0xC0002L | `Partial -> 0xC0003L | `Bursty -> 0xC0004L
@@ -238,6 +283,14 @@ let () =
           Alcotest.test_case "real algorithms pass" `Slow test_real_algorithms_pass;
           Alcotest.test_case "broken variant caught, shrink deterministic" `Slow
             test_broken_variant_caught_and_shrunk;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map is index-ordered and validates" `Quick test_pool_map;
+          Alcotest.test_case "lowest-index exception propagates" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "campaign canonical output is jobs-invariant" `Slow
+            test_campaign_jobs_invariance;
         ] );
       ( "corpus",
         [

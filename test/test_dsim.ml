@@ -38,6 +38,36 @@ let test_prng_chance_extremes () =
     check "p=1 always" true (Prng.chance rng ~p:1.0)
   done
 
+let test_prng_derive_pure_by_index () =
+  (* Two derivations of the same (seed, index) give the same stream,
+     regardless of what else was drawn in between. *)
+  let a = Prng.derive 42L ~index:5 in
+  ignore (Prng.next_int64 (Prng.derive 42L ~index:0));
+  let b = Prng.derive 42L ~index:5 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "pure in (seed, index)" (Prng.next_int64 a) (Prng.next_int64 b)
+  done;
+  let c = Prng.derive 42L ~index:6 in
+  check "adjacent indices differ" true (Prng.next_int64 a <> Prng.next_int64 c);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Prng.derive: index must be non-negative") (fun () ->
+      ignore (Prng.derive 42L ~index:(-1)))
+
+let test_prng_derive_matches_split_chain () =
+  (* A split chain with no interleaved draws is exactly the by-index
+     derivation. The campaign used to split sequentially; this equivalence
+     is what kept every recorded corpus artifact and pinned digest valid
+     when it switched to [derive]. *)
+  let parent = Prng.create 0xF5EEDL in
+  let children = List.init 8 (fun _ -> Prng.split parent) in
+  List.iteri
+    (fun i child ->
+      let derived = Prng.derive 0xF5EEDL ~index:i in
+      for _ = 1 to 4 do
+        Alcotest.(check int64) "same stream" (Prng.next_int64 child) (Prng.next_int64 derived)
+      done)
+    children
+
 let test_prng_shuffle_permutes () =
   let rng = Prng.create 11L in
   let a = Array.init 20 Fun.id in
@@ -230,6 +260,66 @@ let test_engine_messages_to_crashed_dropped () =
   check "some early deliveries possible" true (!got <= 10);
   Engine.run engine ~until:300;
   check "sender keeps spamming but inbox stays empty" true (Engine.in_flight engine ~tag:"app" >= 0)
+
+let test_engine_hook_order () =
+  (* on_tick hooks fire in registration order every tick (they are held in
+     a Vec; the old list-append representation was quadratic to build but
+     had the same order — this pins the order against refactors). *)
+  let engine = Engine.create ~seed:1L ~n:1 ~adversary:(Adversary.synchronous ()) () in
+  let seen = ref [] in
+  for i = 0 to 63 do
+    Engine.on_tick engine (fun () -> seen := i :: !seen)
+  done;
+  Engine.step engine;
+  Alcotest.(check (list int)) "hooks run in registration order" (List.init 64 Fun.id)
+    (List.rev !seen)
+
+let test_engine_reflatten_resets_rotation () =
+  (* Registering a component mid-run rebuilds the flat action table; the
+     weak-fairness cursor must re-anchor at the head of the new layout, not
+     keep pointing wherever the old rotation stopped. *)
+  let engine = Engine.create ~seed:3L ~n:1 ~adversary:(Adversary.synchronous ()) () in
+  let fired = ref [] in
+  let act name =
+    Component.action name ~guard:(fun () -> true) ~body:(fun () -> fired := name :: !fired)
+  in
+  Engine.register engine 0 (Component.make ~name:"a" ~actions:[ act "a0"; act "a1" ] ());
+  Engine.step engine;
+  (* a0 fired; the rotation now points at a1. *)
+  Engine.register engine 0 (Component.make ~name:"b" ~actions:[ act "b0"; act "b1" ] ());
+  Engine.step engine;
+  Alcotest.(check (list string)) "rotation re-anchored at the new layout's head"
+    [ "a0"; "a0" ] (List.rev !fired)
+
+let test_engine_delivery_exactly_once_under_backlog () =
+  (* Wide delay spread ⇒ many distinct in-flight buckets; the min_binding
+     peeling in deliver_ripe must still deliver every packet exactly once
+     and drain the map completely. *)
+  let n = 4 in
+  let engine =
+    Engine.create ~seed:11L ~n
+      ~adversary:(Adversary.async_uniform ~max_delay:80 ~fairness_bound:20 ())
+      ()
+  in
+  let got = ref 0 in
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp =
+      Component.make ~name:"app"
+        ~actions:
+          [
+            Component.action "spam"
+              ~guard:(fun () -> Engine.now engine < 200)
+              ~body:(fun () -> ctx.Context.send ~dst:((pid + 1) mod n) ~tag:"app" (Ping 0));
+          ]
+        ~on_receive:(fun ~src:_ _ -> incr got)
+        ()
+    in
+    Engine.register engine pid comp
+  done;
+  Engine.run engine ~until:400;
+  check_int "every sent packet delivered exactly once" (Engine.sent_total engine) !got;
+  check_int "in-flight map fully drained" 0 (Engine.in_flight_total engine)
 
 let test_engine_duplicate_component_rejected () =
   let engine = Engine.create ~seed:1L ~n:1 ~adversary:(Adversary.synchronous ()) () in
@@ -485,6 +575,9 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "derive is pure by index" `Quick test_prng_derive_pure_by_index;
+          Alcotest.test_case "derive matches a pristine split chain" `Quick
+            test_prng_derive_matches_split_chain;
           Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
         ] );
       ( "vec",
@@ -501,6 +594,11 @@ let () =
           Alcotest.test_case "crash stops steps" `Quick test_engine_crash_stops_steps;
           Alcotest.test_case "messages to crashed dropped" `Quick
             test_engine_messages_to_crashed_dropped;
+          Alcotest.test_case "hook order" `Quick test_engine_hook_order;
+          Alcotest.test_case "reflatten resets the rotation" `Quick
+            test_engine_reflatten_resets_rotation;
+          Alcotest.test_case "exactly-once under delay backlog" `Quick
+            test_engine_delivery_exactly_once_under_backlog;
           Alcotest.test_case "duplicate component rejected" `Quick
             test_engine_duplicate_component_rejected;
           Alcotest.test_case "run_while" `Quick test_engine_run_while;

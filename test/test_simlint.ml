@@ -34,6 +34,11 @@ let in_file file result =
 let rule_lines rule findings =
   List.filter_map (fun (r, _, l) -> if r = rule then Some l else None) findings
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 
 let test_every_rule_fires () =
@@ -41,7 +46,7 @@ let test_every_rule_fires () =
   let rules = List.sort_uniq compare (List.map (fun (r, _, _) -> r) (opens result)) in
   List.iter
     (fun rule -> check (rule ^ " fires on the corpus") true (List.mem rule rules))
-    [ "D001"; "D002"; "D003"; "D004"; "D005"; "D006"; "D007"; "D008"; "D010" ];
+    [ "D001"; "D002"; "D003"; "D004"; "D005"; "D006"; "D007"; "D008"; "D009"; "D010" ];
   check "no parse failures in fixtures" false (List.mem "E000" rules)
 
 let test_corpus_fails_gate () =
@@ -122,11 +127,6 @@ let test_d010_cross_module_chain () =
       result.Driver.findings
     |> fst
   in
-  let contains ~needle hay =
-    let nl = String.length needle and hl = String.length hay in
-    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-    go 0
-  in
   check "message carries the full source->sink chain" true
     (contains ~needle:"Taint_c.use -> Taint_b.wrapped -> Taint_a.roll" sink.Finding.msg);
   check "message names the seed site" true
@@ -156,6 +156,35 @@ let test_d010_allowlist () =
     "Random-rooted chains still flagged"
     [ ("D010", "fixtures/taint_b.ml", 4); ("D010", "fixtures/taint_c.ml", 5) ]
     (d010_opens result)
+
+(* D009: parallel dispatch reaching shared mutable state. *)
+
+let test_d009_sites () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "dispatch reaching the shared table flagged; pure dispatch clean"
+    [ ("D009", "fixtures/pool_user.ml", 8) ]
+    (List.filter (fun (r, _, _) -> r = "D009") (opens result));
+  let f =
+    List.find
+      (fun ((f : Finding.t), _) ->
+        f.Finding.rule = "D009" && f.Finding.file = "fixtures/pool_user.ml" && f.Finding.line = 8)
+      result.Driver.findings
+    |> fst
+  in
+  check "message carries the dispatch->state chain" true
+    (contains ~needle:"Pool_user.tainted_campaign -> Pool_user.lookup -> Pool_user.cache"
+       f.Finding.msg);
+  check "message names the mutable binding" true
+    (contains ~needle:"`Hashtbl.create` (fixtures/pool_user.ml:4)" f.Finding.msg)
+
+let test_d009_suppressed_site () =
+  let result = run_fixtures () in
+  check "justified dispatch suppressed, not open" true
+    (List.exists
+       (fun ((f : Finding.t), s) ->
+         s = Finding.Suppressed && triple f = ("D009", "fixtures/pool_user.ml", 14))
+       result.Driver.findings)
 
 let test_d010_baseline () =
   let baseline = [ { Baseline.file = "fixtures/taint_c.ml"; rule = "D010"; line = 5 } ] in
@@ -341,6 +370,8 @@ let () =
           Alcotest.test_case "D010 sink suppression" `Quick test_d010_suppressed_sink;
           Alcotest.test_case "D010 respects the allowlist" `Quick test_d010_allowlist;
           Alcotest.test_case "D010 baseline hit" `Quick test_d010_baseline;
+          Alcotest.test_case "D009 shared state under parallel dispatch" `Quick test_d009_sites;
+          Alcotest.test_case "D009 site suppression" `Quick test_d009_suppressed_site;
         ] );
       ( "gate",
         [

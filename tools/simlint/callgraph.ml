@@ -34,10 +34,16 @@ type edge = { caller : string; callee : string; file : string; line : int; col :
 
 type seed = { node : string; source : string; file : string; line : int }
 
+type mutdef = { mnode : string; head : string; mfile : string; mline : int }
+(** A top-level binding holding mutable state ([ref], [Hashtbl.create], ...)
+    — the D009 sources. Unlike D008 this is collected for every scanned
+    file, not just lib: parallel workers live in bin/stress/bench too. *)
+
 type t = {
   nodes : (string * node) list;  (** sorted by id *)
   edges : edge list;  (** sorted; deduplicated *)
   seeds : seed list;  (** sorted *)
+  mutables : mutdef list;  (** sorted *)
 }
 
 (* Nondeterminism sources seeded into the graph. Wall clock and randomness
@@ -78,6 +84,7 @@ type builder = {
       (** caller id, ref path parts, candidate prefixes (outermost scope first),
           file, line, col — resolved after all defs are known *)
   mutable raw_seeds : seed list;
+  mutable raw_mutables : mutdef list;
 }
 
 let register_def b ~ns ~scope ~name ~file ~line ~lib =
@@ -113,8 +120,14 @@ let module_path (m : Parsetree.module_expr) =
       match Rules.flatten txt with [] -> None | parts -> Some parts)
   | _ -> None
 
+(* Same constraint peeling as the D008 walk in [Rules]. *)
+let rec peel (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with Parsetree.Pexp_constraint (inner, _) -> peel inner | _ -> e
+
 let build (inputs : input list) : t =
-  let b = { defs = []; keys = Hashtbl.create 256; raw_edges = []; raw_seeds = [] } in
+  let b =
+    { defs = []; keys = Hashtbl.create 256; raw_edges = []; raw_seeds = []; raw_mutables = [] }
+  in
   (* ---- pass 1: definitions, raw references, seeds ---- *)
   let walk_file (inp : input) =
     let ns = namespace_of_file inp.rel in
@@ -211,7 +224,15 @@ let build (inputs : input list) : t =
               let caller =
                 match pat_name vb.Parsetree.pvb_pat with
                 | Some name ->
-                    register_def b ~ns ~scope:!env.scope ~name ~file:inp.rel ~line ~lib:inp.lib
+                    let id =
+                      register_def b ~ns ~scope:!env.scope ~name ~file:inp.rel ~line ~lib:inp.lib
+                    in
+                    (match Rules.head_path (peel vb.Parsetree.pvb_expr) with
+                    | Some h when List.mem h Rules.mutable_heads ->
+                        b.raw_mutables <-
+                          { mnode = id; head = h; mfile = inp.rel; mline = line } :: b.raw_mutables
+                    | _ -> ());
+                    id
                 | None ->
                     (* Side-effecting module initialisation ([let () = ..]):
                        one synthetic node per module so cross-file taint in
@@ -289,6 +310,7 @@ let build (inputs : input list) : t =
     nodes = List.sort (fun (a, _) (c, _) -> String.compare a c) b.defs;
     edges;
     seeds = List.sort_uniq compare b.raw_seeds;
+    mutables = List.sort_uniq compare b.raw_mutables;
   }
 
 let find_node t id = List.assoc_opt id t.nodes

@@ -116,7 +116,8 @@ let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
            | Ok str ->
                Some { Callgraph.rel = p.rel; lib = p.lib; wallclock_ok = p.wallclock_ok; str }
            | Error _ -> None)
-    |> Callgraph.build |> Taint.findings
+    |> Callgraph.build
+    |> fun g -> Taint.findings g @ Taint.shared_state_findings g
   in
   let suppressions_of =
     let tbl = Hashtbl.create 64 in

@@ -22,7 +22,7 @@ type t = {
    contract outright; the hygiene rules flag hazards that need a human
    judgement call; D005 is a conventions nudge. *)
 let severity_of_rule = function
-  | "D001" | "D002" | "D003" | "D010" | "E000" -> Error
+  | "D001" | "D002" | "D003" | "D009" | "D010" | "E000" -> Error
   | "D004" | "D006" | "D007" | "D008" -> Warning
   | _ -> Note
 

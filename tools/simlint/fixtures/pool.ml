@@ -1,0 +1,7 @@
+(* Stand-in for Exec.Pool: D009 recognises parallel dispatch by the
+   Pool.map/Pool.iter id suffix, so the fixture corpus carries its own. *)
+let map ~jobs n f =
+  ignore jobs;
+  Array.init n f
+
+let iter ~jobs n f = ignore (map ~jobs n f)

@@ -1,0 +1,14 @@
+(* D009: dispatching workers from a function that reaches module-level
+   mutable state; the pure dispatch below stays clean. *)
+(* simlint: allow D008 — the D009 fixture needs a shared table to reach *)
+let cache = Hashtbl.create 16
+
+let lookup k = Hashtbl.find_opt cache k
+
+let tainted_campaign n = Pool.map ~jobs:2 n (fun i -> lookup i)
+
+let clean_campaign n = Pool.map ~jobs:2 n (fun i -> i * i)
+
+let justified_campaign n =
+  (* simlint: allow D009 — table is warmed before dispatch, read-only after *)
+  Pool.map ~jobs:2 n (fun i -> lookup i)

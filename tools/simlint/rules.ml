@@ -39,9 +39,11 @@
          at module level leaks between back-to-back runs, so run state must
          hang off the engine/component instance.
 
-   (D005 — lib module missing its .mli — is a file-set rule, and D010 —
-   interprocedural nondeterminism taint — needs the whole-project call
-   graph; both live outside this per-file walk, in [Driver] and [Taint].)
+   (D005 — lib module missing its .mli — is a file-set rule; D009 —
+   parallel worker dispatch reaching shared mutable state — and D010 —
+   interprocedural nondeterminism taint — need the whole-project call
+   graph. All three live outside this per-file walk, in [Driver] and
+   [Taint].)
 
    The walk is purely syntactic: module aliasing or [open Unix] can evade
    path matching. That is acceptable for a hygiene gate — the point is to
@@ -76,6 +78,7 @@ let catalog =
     ("D006", "polymorphic compare/hash on non-scalar simulation state");
     ("D007", "catch-all exception handler in lib code");
     ("D008", "module-level mutable state in lib code");
+    ("D009", "parallel worker dispatch reaches shared mutable state");
     ("D010", "result depends on a nondeterminism source in another file");
     ("E000", "source file failed to parse");
   ]

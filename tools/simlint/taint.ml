@@ -26,8 +26,11 @@ type chain = {
   source_line : int;
 }
 
-(* Fixpoint: chain per tainted node. *)
-let propagate (g : Callgraph.t) : (string, chain) Hashtbl.t =
+(* Caller-ward fixpoint from an arbitrary seed set: chain per reached node.
+   Shared by D010 (nondeterminism sources) and D009 (module-level mutable
+   state); determinism of the reported chains comes from the sorted seed
+   and edge orders, as described above. *)
+let propagate_from (g : Callgraph.t) (seeds : (string * chain) list) : (string, chain) Hashtbl.t =
   let tainted : (string, chain) Hashtbl.t = Hashtbl.create 64 in
   (* Reverse adjacency: callee -> call sites, in sorted edge order. *)
   let callers : (string, Callgraph.edge) Hashtbl.t = Hashtbl.create 64 in
@@ -35,18 +38,12 @@ let propagate (g : Callgraph.t) : (string, chain) Hashtbl.t =
   let callers_of id = List.rev (Hashtbl.find_all callers id) in
   let queue = Queue.create () in
   List.iter
-    (fun (s : Callgraph.seed) ->
-      if not (Hashtbl.mem tainted s.Callgraph.node) then begin
-        Hashtbl.replace tainted s.Callgraph.node
-          {
-            trail = [ s.Callgraph.node ];
-            source = s.Callgraph.source;
-            source_file = s.Callgraph.file;
-            source_line = s.Callgraph.line;
-          };
-        Queue.add s.Callgraph.node queue
+    (fun (node, c) ->
+      if not (Hashtbl.mem tainted node) then begin
+        Hashtbl.replace tainted node c;
+        Queue.add node queue
       end)
-    g.Callgraph.seeds;
+    seeds;
   while not (Queue.is_empty queue) do
     let id = Queue.pop queue in
     let c = Hashtbl.find tainted id in
@@ -59,6 +56,19 @@ let propagate (g : Callgraph.t) : (string, chain) Hashtbl.t =
       (callers_of id)
   done;
   tainted
+
+let propagate (g : Callgraph.t) : (string, chain) Hashtbl.t =
+  propagate_from g
+    (List.map
+       (fun (s : Callgraph.seed) ->
+         ( s.Callgraph.node,
+           {
+             trail = [ s.Callgraph.node ];
+             source = s.Callgraph.source;
+             source_file = s.Callgraph.file;
+             source_line = s.Callgraph.line;
+           } ))
+       g.Callgraph.seeds)
 
 let findings (g : Callgraph.t) : Finding.t list =
   let tainted = propagate g in
@@ -81,4 +91,52 @@ let findings (g : Callgraph.t) : Finding.t list =
                      through the engine PRNG/Context or justify the sink"
                     chain c.source c.source_file c.source_line))
       | _ -> None)
+    g.Callgraph.edges
+
+(* D009: parallel dispatch from a function that (transitively) reaches
+   module-level mutable state. Worker tasks submitted to [Exec.Pool] must
+   be pure functions of their index — state shared across domains races,
+   and even benign races make results depend on scheduling. Dispatch sites
+   are recognised by the callee id's [Pool.map]/[Pool.iter] suffix, so the
+   real [Exec.Pool] and the fixture corpus's stand-in both match. The check
+   is an over-approximation (the whole enclosing function is considered,
+   not just the worker closure): a reachable-but-unshared table deserves
+   its own [simlint: allow D009] justification at the dispatch site. *)
+let pool_dispatch_id id =
+  match List.rev (String.split_on_char '.' id) with
+  | ("map" | "iter") :: "Pool" :: _ -> true
+  | _ -> false
+
+let shared_state_findings (g : Callgraph.t) : Finding.t list =
+  let reaches =
+    propagate_from g
+      (List.map
+         (fun (m : Callgraph.mutdef) ->
+           ( m.Callgraph.mnode,
+             {
+               trail = [ m.Callgraph.mnode ];
+               source = m.Callgraph.head;
+               source_file = m.Callgraph.mfile;
+               source_line = m.Callgraph.mline;
+             } ))
+         g.Callgraph.mutables)
+  in
+  let reported : (string * int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.filter_map
+    (fun (e : Callgraph.edge) ->
+      if not (pool_dispatch_id e.Callgraph.callee) then None
+      else
+        match Hashtbl.find_opt reaches e.Callgraph.caller with
+        | Some c when not (Hashtbl.mem reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col)) ->
+            Hashtbl.replace reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col) ();
+            let chain = String.concat " -> " c.trail in
+            Some
+              (Finding.make ~rule:"D009" ~file:e.Callgraph.file ~line:e.Callgraph.line
+                 ~col:e.Callgraph.col
+                 ~msg:
+                   (Printf.sprintf
+                      "parallel dispatch while %s reaches module-level mutable state `%s` \
+                       (%s:%d); worker tasks must be pure functions of their index"
+                      chain c.source c.source_file c.source_line))
+        | _ -> None)
     g.Callgraph.edges
