@@ -3,12 +3,18 @@
 # determinism gate, and a 10k-tick end-to-end smoke that a run report is
 # written and parses.
 
-.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke bench-smoke clean
+.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke bench-smoke \
+	bench-diff trace-smoke clean
 
 # Worker count for the parallel targets below. Results are byte-identical
 # for any J (see DESIGN.md, "Parallel execution & determinism contract"),
 # so this only affects wall-clock.
 J ?= 2
+
+# Relative-slowdown gate for bench-diff: an experiment regresses when its
+# fresh median exceeds THRESHOLD x the committed median. CI passes a more
+# generous value (shared runners are noisy); see .github/workflows/ci.yml.
+BENCH_THRESHOLD ?= 1.5
 
 all: build
 
@@ -56,7 +62,28 @@ fuzz-smoke: build
 bench-smoke: build
 	dune exec bench/main.exe -- --trials 3 -j $(J)
 
-check: fmt build test lint smoke fuzz-smoke
+# Perf-regression gate: stash the committed snapshot, run a fresh
+# bench-smoke (which overwrites BENCH_dining.json in place), and diff the
+# two medians. Exits non-zero when any experiment slowed down by more
+# than BENCH_THRESHOLD x, or dropped out of the suite. The machine diff
+# lands in _build/benchdiff.json (uploaded as a CI artifact).
+bench-diff: build
+	cp BENCH_dining.json _build/bench-baseline.json
+	$(MAKE) bench-smoke
+	dune exec tools/benchdiff/main.exe -- _build/bench-baseline.json BENCH_dining.json \
+		--threshold $(BENCH_THRESHOLD) --json _build/benchdiff.json
+
+# End-to-end smoke of the Perfetto exporter: render a corpus repro
+# artifact and a freshly streamed JSONL trace, then sanity-check both
+# documents parse back.
+trace-smoke: build
+	dune exec bin/dinersim.exe -- trace test/corpus/family-sync.json \
+		-o /tmp/dinersim-trace-smoke.perfetto.json
+	dune exec bin/dinersim.exe -- dining --seed 41 --horizon 3000 \
+		--trace-out /tmp/dinersim-trace-smoke.jsonl > /dev/null
+	dune exec bin/dinersim.exe -- trace /tmp/dinersim-trace-smoke.jsonl
+
+check: fmt build test lint smoke fuzz-smoke trace-smoke
 	@echo "check: OK"
 
 clean:

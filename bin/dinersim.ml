@@ -8,6 +8,7 @@
      ctm            contention-manager boost demo
      fuzz           randomized schedule-fuzzing campaign with shrinking
      replay         re-execute fuzz-repro/1 artifacts and verify verdicts
+     trace          render a run as a Perfetto-openable Chrome trace document
 
    Every run is deterministic in --seed. *)
 
@@ -1015,6 +1016,123 @@ let replay_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* trace — render a run as a Chrome trace-event (Perfetto) document *)
+
+let slurp_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_trace input output horizon =
+  let content =
+    match slurp_file input with
+    | c -> c
+    | exception Sys_error msg ->
+        prerr_endline msg;
+        exit 2
+  in
+  (* Classify the input: a fuzz-repro/1 artifact is re-executed (replay is
+     bit-identical, so the rendered trace is the violating run's); any
+     other whole-file JSON document has no trace inside; everything else
+     is treated as a JSONL event stream from --trace-out. *)
+  let classified =
+    match Obs.Json.of_string content with
+    | j -> (
+        match Obs.Json.find j "schema" with
+        | Some (Obs.Json.Str s) when s = Check.Repro.schema_version -> `Repro
+        | Some (Obs.Json.Str s) -> `Other_schema s
+        | _ -> `Jsonl)
+    | exception Failure _ -> `Jsonl
+  in
+  let trace, horizon =
+    match classified with
+    | `Other_schema s ->
+        Printf.eprintf
+          "dinersim: %s is a %S document, which carries no event trace; render a \
+           fuzz-repro/1 artifact or a JSONL stream from --trace-out instead\n"
+          input s;
+        exit 2
+    | `Repro -> (
+        let r =
+          match Check.Repro.load ~path:input with
+          | r -> r
+          | exception Failure msg ->
+              Printf.eprintf "%s: %s\n" input msg;
+              exit 2
+        in
+        match
+          Check.Runner.run_traced
+            ~replay:(r.Check.Repro.len, r.Check.Repro.overrides)
+            ~registry:Check.Runner.default_registry r.Check.Repro.config
+        with
+        | _, trace ->
+            ( trace,
+              Some
+                (Option.value ~default:r.Check.Repro.config.Check.Config.horizon horizon) )
+        | exception Failure msg ->
+            Printf.eprintf "%s: %s\n" input msg;
+            exit 2)
+    | `Jsonl -> (
+        match Obs.Sink.read_jsonl input with
+        | trace -> (trace, horizon)
+        | exception Failure msg ->
+            Printf.eprintf "%s: %s\n" input msg;
+            exit 2)
+  in
+  let output =
+    match output with
+    | Some p -> p
+    | None -> Filename.remove_extension input ^ ".perfetto.json"
+  in
+  let j = Obs.Span.chrome_of_trace ?horizon trace in
+  let events =
+    match Obs.Json.find j "traceEvents" with Some (Obs.Json.Arr l) -> List.length l | _ -> 0
+  in
+  io_or_die "trace document" (fun () ->
+      let oc = open_out output in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Obs.Json.to_string_pretty j)));
+  Printf.printf "perfetto trace written to %s (%d events from %d trace entries)\n" output
+    events (Trace.length trace)
+
+let trace_cmd =
+  let input_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Input run: a fuzz-repro/1 artifact (re-executed deterministically) or a JSONL \
+             event stream written by --trace-out.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Output path (default: the input path with a .perfetto.json extension).")
+  in
+  let trace_horizon_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ] ~docv:"TICKS"
+          ~doc:
+            "Horizon at which still-open phase spans are cut (default: the repro's \
+             configured horizon, or one tick past the last event).")
+  in
+  let term = Term.(const run_trace $ input_t $ out_t $ trace_horizon_t) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Render a recorded run as a Chrome trace-event JSON document (openable in Perfetto \
+          or chrome://tracing): one lane per process with its dining phase spans, plus \
+          instants for suspicion flips, crashes and protocol notes.")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "simulator for wait-free dining under eventual weak exclusion and the ◇P reduction" in
@@ -1022,7 +1140,7 @@ let main_cmd =
   Cmd.group info
     [
       extract_cmd; dining_cmd; vulnerability_cmd; wsn_cmd; ctm_cmd; agreement_cmd;
-      certify_cmd; report_cmd; fuzz_cmd; replay_cmd;
+      certify_cmd; report_cmd; fuzz_cmd; replay_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -15,6 +15,8 @@ type t = {
   knobs : (string * Obs.Json.t) list;
   entries : Obs.Json.t list;
   metrics : Obs.Metrics.t;
+  coverage : Obs.Coverage.t;
+  coverage_growth : int list;
   run_walls : float array;
 }
 
@@ -72,9 +74,20 @@ let run ?(runs = 100) ?(max_repros = 3) ?(max_horizon = 6000) ?(families = Confi
   let metrics = Obs.Metrics.create () in
   let violations = ref [] in
   let shrunk = ref 0 in
+  (* Union of the per-run coverage signatures, folded in run-index order.
+     Union is commutative, so the accumulated bitmap is order-independent;
+     the growth curve (cumulative edge count after each run) and the
+     edges_new counter depend on the fold order, which run-index order
+     makes canonical for every [jobs]. *)
+  let coverage = ref (Obs.Coverage.empty ()) in
+  let growth = ref [] in
   Array.iteri
     (fun index (config, (outcome : Runner.outcome), m, _wall_s) ->
       Obs.Metrics.merge ~into:metrics m;
+      let fresh = Obs.Coverage.new_edges ~seen:!coverage outcome.Runner.coverage in
+      Obs.Metrics.incr ~by:fresh (Obs.Metrics.counter metrics "coverage.edges_new");
+      coverage := Obs.Coverage.union !coverage outcome.Runner.coverage;
+      growth := Obs.Coverage.edges !coverage :: !growth;
       (match on_run with Some f -> f index config outcome | None -> ());
       (match corpus with
       | Some f ->
@@ -93,6 +106,7 @@ let run ?(runs = 100) ?(max_repros = 3) ?(max_horizon = 6000) ?(families = Confi
         violations := { index; config; failed = outcome.Runner.failed; repro } :: !violations
       end)
     results;
+  Obs.Metrics.set (Obs.Metrics.gauge metrics "coverage.edges") (Obs.Coverage.edges !coverage);
   let violations = List.rev !violations in
   let knobs =
     (* [jobs] is deliberately absent: the knobs are part of the canonical
@@ -116,6 +130,8 @@ let run ?(runs = 100) ?(max_repros = 3) ?(max_horizon = 6000) ?(families = Confi
     knobs;
     entries = List.map violation_entry violations;
     metrics;
+    coverage = !coverage;
+    coverage_growth = List.rev !growth;
     run_walls = Array.map (fun (_, _, _, w) -> w) results;
   }
 
@@ -128,7 +144,17 @@ let wall_json ?total_s t =
           Obs.Json.Arr (Array.to_list (Array.map (fun w -> Obs.Json.Float w) t.run_walls)) );
       ])
 
+let coverage_json t =
+  Obs.Json.Obj
+    [
+      ("width", Obs.Json.Int (Obs.Coverage.width t.coverage));
+      ("edges", Obs.Json.Int (Obs.Coverage.edges t.coverage));
+      ("digest", Obs.Json.Str (Obs.Coverage.digest t.coverage));
+      ("growth", Obs.Json.Arr (List.map (fun n -> Obs.Json.Int n) t.coverage_growth));
+      ("bitmap", Obs.Json.Str (Obs.Coverage.to_hex t.coverage));
+    ]
+
 let summary ?total_s ~cmd t =
   Obs.Report.make_campaign ~cmd ~root_seed:t.root_seed ~runs:t.runs
     ~violations:(List.length t.violations) ~config:t.knobs ~metrics:t.metrics
-    ~entries:t.entries ~wall:(wall_json ?total_s t) ()
+    ~coverage:(coverage_json t) ~entries:t.entries ~wall:(wall_json ?total_s t) ()

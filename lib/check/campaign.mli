@@ -29,7 +29,16 @@ type t = {
   entries : Obs.Json.t list;  (** One summary entry per violation. *)
   metrics : Obs.Metrics.t;
       (** Per-run engine instrumentation registries, merged in run-index
-          order — deterministic in [root_seed], independent of [jobs]. *)
+          order — deterministic in [root_seed], independent of [jobs].
+          Includes counter [coverage.edges_new] (sum over runs of the edge
+          buckets each run added to the accumulated union) and gauge
+          [coverage.edges] (final union popcount). *)
+  coverage : Obs.Coverage.t;
+      (** Union of the per-run schedule-coverage signatures — commutative,
+          hence identical for every [jobs]. *)
+  coverage_growth : int list;
+      (** Cumulative union edge count after each run, in run-index order —
+          the campaign's coverage growth curve. *)
   run_walls : float array;
       (** Wall seconds per run, in run-index order. Nondeterministic; feeds
           the summary's wall_clock section only. *)
@@ -64,8 +73,12 @@ val wall_json : ?total_s:float -> t -> Obs.Json.t
 (** The wall_clock section: [{"jobs":N, "total_s":S?, "runs_s":[...]}].
     Everything in it is excluded from the canonical digest. *)
 
+val coverage_json : t -> Obs.Json.t
+(** The summary's coverage block:
+    [{"width","edges","digest","growth":[...],"bitmap":"hex"}]. *)
+
 val summary : ?total_s:float -> cmd:string -> t -> Obs.Json.t
 (** The ["dinersim-campaign/1"] summary document (see
     {!Obs.Report.make_campaign}). Canonical body (config, entries, merged
-    metrics) is byte-identical across [jobs]; the wall_clock section
-    carries {!wall_json}. *)
+    metrics, coverage block) is byte-identical across [jobs]; the
+    wall_clock section carries {!wall_json}. *)

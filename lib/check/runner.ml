@@ -10,6 +10,7 @@ type outcome = {
   failed : string list;
   meals : int;
   trace_events : int;
+  coverage : Obs.Coverage.t;
 }
 
 let instance = "fz"
@@ -72,7 +73,7 @@ let default_registry =
     ("ftme", ftme_builder);
   ]
 
-let run ?record ?replay ?metrics ~registry (c : Config.t) =
+let run_traced ?record ?replay ?metrics ~registry (c : Config.t) =
   (match (record, replay) with
   | Some _, Some _ -> invalid_arg "Runner.run: record and replay are exclusive"
   | _ -> ());
@@ -95,6 +96,10 @@ let run ?record ?replay ?metrics ~registry (c : Config.t) =
   (* Instrumentation must be installed before components register so its
      on_tick hook and trace subscriber see the whole run. *)
   let inst = Option.map (fun metrics -> Obs.Instrument.install ~metrics engine) metrics in
+  (* The coverage collector likewise subscribes before any component can
+     log, so the signature spans the whole event stream. *)
+  let cov = Obs.Coverage.create () in
+  Obs.Coverage.attach cov (Engine.trace engine);
   builder engine ~graph ~instance ~eat_ticks:c.Config.eat_ticks;
   List.iter
     (fun (pid, at) -> if pid >= 0 && pid < n then Engine.schedule_crash engine pid ~at)
@@ -123,4 +128,14 @@ let run ?record ?replay ?metrics ~registry (c : Config.t) =
     List.init n (fun pid -> Dining.Monitor.eat_count trace ~instance ~pid)
     |> List.fold_left ( + ) 0
   in
-  { checks; failed; meals; trace_events = Trace.length trace }
+  ( {
+      checks;
+      failed;
+      meals;
+      trace_events = Trace.length trace;
+      coverage = Obs.Coverage.snapshot cov;
+    },
+    trace )
+
+let run ?record ?replay ?metrics ~registry c =
+  fst (run_traced ?record ?replay ?metrics ~registry c)

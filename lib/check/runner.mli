@@ -22,6 +22,9 @@ type outcome = {
   failed : string list;  (** Names of the checks that do not hold. *)
   meals : int;  (** Total completed+ongoing eating sessions (diagnostics). *)
   trace_events : int;
+  coverage : Obs.Coverage.t;
+      (** Schedule-coverage signature of the run's event stream —
+          deterministic in the config, so replay reproduces it exactly. *)
 }
 
 val instance : string
@@ -47,3 +50,14 @@ val run :
     (finalized before returning) — campaign drivers give each run its own
     registry and merge them in run-index order. Raises [Failure] on an
     algorithm name missing from the registry. *)
+
+val run_traced :
+  ?record:Adversary.tape ->
+  ?replay:int * (int * Adversary.decision) list ->
+  ?metrics:Obs.Metrics.t ->
+  registry:registry ->
+  Config.t ->
+  outcome * Trace.t
+(** Like {!run} but also returns the full recorded trace — the input of
+    {!Obs.Span.chrome_of_trace} and offline property checkers
+    ([dinersim trace] renders repro artifacts through this). *)

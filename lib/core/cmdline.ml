@@ -16,7 +16,15 @@ let parse_int ~what s =
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "bad %s %S (integer expected)" what s)
 
-let extract_int_flag ~names ~default args =
+let parse_float ~what s =
+  let s = String.trim s in
+  if s = "" then Error (Printf.sprintf "empty %s" what)
+  else
+    match float_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad %s %S (number expected)" what s)
+
+let extract_flag ~parse ~names ~default args =
   let what = String.concat "/" names in
   let inline_value a =
     match String.index_opt a '=' with
@@ -29,15 +37,20 @@ let extract_int_flag ~names ~default args =
     | a :: rest when List.mem a names -> (
         match rest with
         | x :: rest -> (
-            match parse_int ~what x with Ok n -> go acc n rest | Error e -> Error e)
+            match parse ~what x with Ok n -> go acc n rest | Error e -> Error e)
         | [] -> Error (Printf.sprintf "%s expects a value" a))
     | a :: rest -> (
         match inline_value a with
         | Some s -> (
-            match parse_int ~what s with Ok n -> go acc n rest | Error e -> Error e)
+            match parse ~what s with Ok n -> go acc n rest | Error e -> Error e)
         | None -> go (a :: acc) v rest)
   in
   go [] default args
+
+let extract_int_flag ~names ~default args = extract_flag ~parse:parse_int ~names ~default args
+
+let extract_float_flag ~names ~default args =
+  extract_flag ~parse:parse_float ~names ~default args
 
 let extract_seed_flag ~default args =
   let rec go acc seed = function

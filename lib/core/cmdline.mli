@@ -26,3 +26,9 @@ val extract_int_flag :
     Returns the value and the remaining arguments. Used for the worker
     count ([-j]) and trial count flags of [stress/sweep.exe] and
     [bench/main.exe]. *)
+
+val extract_float_flag :
+  names:string list -> default:float -> string list -> (float * string list, string) result
+(** Same contract for a float-valued flag (accepts anything
+    [float_of_string] does). Used for [tools/benchdiff]'s
+    [--threshold]. *)

@@ -1,0 +1,186 @@
+(* Schedule-coverage signatures.
+
+   An AFL-style edge bitmap over the behavioural event stream of a run:
+   each trace event is hashed to a 64-bit "site", each consecutive pair
+   of sites *on the same track* (one track per diner per dining
+   instance, per detector module owner, per note label, plus one crash
+   track) forms an edge, and each edge sets one bit in a fixed-width
+   bitmap. Two runs with the same signature exercised the same set of
+   local event successions; a fuzzing campaign's union bitmap growing is
+   the signal that new schedules are still being discovered.
+
+   The hash is a hand-rolled FNV-1a over the event's rendered fields —
+   deliberately not [Hashtbl.hash], which is a simlint D010 taint source
+   (its output is not specified across OCaml versions, and signatures
+   are pinned in tests and corpus artifacts). Everything here is a pure
+   function of the trace, hence of the engine seed. *)
+
+open Dsim
+
+let default_width = 4096
+
+(* ------------------------------------------------------------------ *)
+(* FNV-1a, 64 bit. *)
+
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h
+
+let fnv_int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* Finished signatures: plain data, so run outcomes carrying one still
+   compare structurally. *)
+
+type t = { width : int; bits : Bytes.t }
+
+let empty ?(width = default_width) () =
+  if width <= 0 || width mod 8 <> 0 then
+    invalid_arg "Coverage.empty: width must be a positive multiple of 8";
+  { width; bits = Bytes.make (width / 8) '\000' }
+
+let width t = t.width
+
+let check_widths fn a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Coverage.%s: signature widths differ (%d vs %d)" fn a.width b.width)
+
+let union a b =
+  check_widths "union" a b;
+  let bits = Bytes.create (Bytes.length a.bits) in
+  for i = 0 to Bytes.length bits - 1 do
+    Bytes.unsafe_set bits i
+      (Char.chr (Char.code (Bytes.get a.bits i) lor Char.code (Bytes.get b.bits i)))
+  done;
+  { width = a.width; bits }
+
+let popcount_byte b =
+  let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+  go b 0
+
+let edges t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte (Char.code c)) t.bits;
+  !n
+
+let new_edges ~seen t =
+  check_widths "new_edges" seen t;
+  let n = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    let fresh = Char.code (Bytes.get t.bits i) land lnot (Char.code (Bytes.get seen.bits i)) in
+    n := !n + popcount_byte fresh
+  done;
+  !n
+
+let equal a b = a.width = b.width && Bytes.equal a.bits b.bits
+
+let to_hex t =
+  let buf = Buffer.create (2 * Bytes.length t.bits) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t.bits;
+  Buffer.contents buf
+
+let of_hex s =
+  let len = String.length s in
+  if len = 0 || len mod 2 <> 0 then invalid_arg "Coverage.of_hex: odd-length or empty string";
+  let nibble = function
+    | '0' .. '9' as c -> Char.code c - Char.code '0'
+    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+    | c -> invalid_arg (Printf.sprintf "Coverage.of_hex: non-hex character %C" c)
+  in
+  let bits = Bytes.create (len / 2) in
+  for i = 0 to (len / 2) - 1 do
+    Bytes.set bits i (Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+  done;
+  { width = 4 * len; bits }
+
+let digest t = Digest.to_hex (Digest.bytes t.bits)
+
+let to_json t =
+  Json.Obj
+    [
+      ("width", Json.Int t.width);
+      ("edges", Json.Int (edges t));
+      ("digest", Json.Str (digest t));
+      ("bitmap", Json.Str (to_hex t));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Collector. *)
+
+type collector = {
+  cwidth : int;
+  cbits : Bytes.t;
+  (* Per-track previous site. Lookup/replace only — never traversed —
+     so iteration-order nondeterminism (simlint D003) cannot leak. *)
+  last : (string * int, int64) Hashtbl.t;
+}
+
+let create ?(width = default_width) () =
+  if width <= 0 || width mod 8 <> 0 then
+    invalid_arg "Coverage.create: width must be a positive multiple of 8";
+  { cwidth = width; cbits = Bytes.make (width / 8) '\000'; last = Hashtbl.create 64 }
+
+let set_bit bits idx =
+  let byte = idx / 8 and mask = 1 lsl (idx mod 8) in
+  Bytes.set bits byte (Char.chr (Char.code (Bytes.get bits byte) lor mask))
+
+(* Track identity: events only form edges with their predecessor on the
+   same logical strand. Strands are deliberately cross-process — all
+   transitions of a dining instance share one strand, all flips of a
+   detector module share another — so an edge records which process's
+   event followed which, i.e. the schedule's interleaving (a per-process
+   strand would collapse to the fixed phase cycle and lose exactly the
+   information a schedule signature exists to capture). *)
+let track_of = function
+  | Trace.Transition { instance; _ } -> ("t:" ^ instance, 0)
+  | Trace.Suspect { detector; _ } | Trace.Trust { detector; _ } -> ("s:" ^ detector, 0)
+  | Trace.Crash _ -> ("c", 0)
+  | Trace.Note { label; _ } -> ("n:" ^ label, 0)
+
+let site_of = function
+  | Trace.Transition { instance; pid; from_; to_ } ->
+      fnv_string fnv_basis
+        (Printf.sprintf "t|%s|%d|%s|%s" instance pid (Types.phase_to_string from_)
+           (Types.phase_to_string to_))
+  | Trace.Suspect { detector; owner; target } ->
+      fnv_string fnv_basis (Printf.sprintf "s|%s|%d|%d|1" detector owner target)
+  | Trace.Trust { detector; owner; target } ->
+      fnv_string fnv_basis (Printf.sprintf "s|%s|%d|%d|0" detector owner target)
+  | Trace.Crash { pid } -> fnv_string fnv_basis (Printf.sprintf "c|%d" pid)
+  | Trace.Note { pid; label; info } ->
+      fnv_string fnv_basis (Printf.sprintf "n|%s|%d|%s" label pid info)
+
+let observe c (e : Trace.entry) =
+  let track = track_of e.Trace.ev in
+  let cur = site_of e.Trace.ev in
+  let prev =
+    match Hashtbl.find_opt c.last track with
+    | Some p -> p
+    | None ->
+        (* Track-start sentinel site, derived from the track key so the
+           first edge of a track is distinct per track. *)
+        let name, pid = track in
+        fnv_string fnv_basis (Printf.sprintf "start|%s|%d" name pid)
+  in
+  let edge = fnv_int64 (fnv_int64 fnv_basis prev) cur in
+  let idx = Int64.to_int edge land max_int mod c.cwidth in
+  set_bit c.cbits idx;
+  Hashtbl.replace c.last track cur
+
+let attach c tr =
+  Trace.iter tr (observe c);
+  Trace.subscribe tr (observe c)
+
+let snapshot c = { width = c.cwidth; bits = Bytes.copy c.cbits }

@@ -8,6 +8,8 @@ type t = {
   mutable elapsed : float option; (* set by finalize *)
 }
 
+let meals_window_width = 1000
+
 let install ~metrics engine =
   let st = { metrics; engine; t0 = Unix.gettimeofday (); ticks = 0; elapsed = None } in
   let depth =
@@ -21,9 +23,28 @@ let install ~metrics engine =
       Metrics.incr ticks;
       Metrics.observe depth (Engine.in_flight_total engine);
       Metrics.set live (Types.Pidset.cardinal (Engine.live_set engine)));
-  (* Per-(instance, pid) start of the current hunger session. *)
-  let hungry_since : (string * Types.pid, Types.time) Hashtbl.t = Hashtbl.create 64 in
+  (* Hunger latency via the span layer: a streaming (memory-free) span
+     collector closes a diner's Hungry span on the transition out of
+     Hungry; when the next phase is Eating, the span length is one
+     completed hunger session. Dual-recorded as the bucketed
+     [hunger_latency] histogram (cheap cross-run aggregation) and the
+     exact [hunger_latency_exact] quantile digest (true p99/p999). *)
+  let spans = Span.create ~retain:false () in
+  Span.on_close spans (fun sp ~next ->
+      match (sp.Span.phase, next) with
+      | Types.Hungry, Types.Eating ->
+          let latency = sp.Span.stop - sp.Span.start in
+          Metrics.observe
+            (Metrics.histogram metrics
+               ("dining." ^ sp.Span.instance ^ ".hunger_latency")
+               ~buckets:Metrics.latency_buckets)
+            latency;
+          Quantile.add
+            (Metrics.quantile metrics ("dining." ^ sp.Span.instance ^ ".hunger_latency_exact"))
+            latency
+      | _ -> ());
   Trace.subscribe (Engine.trace engine) (fun e ->
+      Span.observe spans e;
       match e.Trace.ev with
       | Trace.Suspect { detector; _ } ->
           Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".flips"));
@@ -32,21 +53,15 @@ let install ~metrics engine =
           Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".flips"));
           Metrics.incr (Metrics.counter metrics ("detector." ^ detector ^ ".trusts"))
       | Trace.Crash _ -> Metrics.incr (Metrics.counter metrics "engine.crashes")
-      | Trace.Transition { instance; pid; to_; _ } -> (
+      | Trace.Transition { instance; to_; _ } -> (
           match to_ with
-          | Types.Hungry -> Hashtbl.replace hungry_since (instance, pid) e.Trace.at
-          | Types.Eating -> (
+          | Types.Eating ->
               Metrics.incr (Metrics.counter metrics ("dining." ^ instance ^ ".meals"));
-              match Hashtbl.find_opt hungry_since (instance, pid) with
-              | Some since ->
-                  Hashtbl.remove hungry_since (instance, pid);
-                  Metrics.observe
-                    (Metrics.histogram metrics
-                       ("dining." ^ instance ^ ".hunger_latency")
-                       ~buckets:Metrics.latency_buckets)
-                    (e.Trace.at - since)
-              | None -> ())
-          | Types.Thinking | Types.Exiting -> ())
+              Window.observe
+                (Metrics.series metrics ("dining." ^ instance ^ ".meals_per_window")
+                   ~width:meals_window_width)
+                ~at:e.Trace.at
+          | Types.Thinking | Types.Hungry | Types.Exiting -> ())
       | Trace.Note _ -> ());
   st
 

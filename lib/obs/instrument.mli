@@ -8,9 +8,14 @@
     - a trace subscriber folds events as they happen: counters
       [detector.<name>.flips], [detector.<name>.suspects],
       [detector.<name>.trusts], [engine.crashes],
-      [dining.<instance>.meals], and histogram
-      [dining.<instance>.hunger_latency] (ticks from entering Hungry to
-      entering Eating, one sample per completed hunger session).
+      [dining.<instance>.meals], and — via a streaming {!Span} collector
+      over Hungry→Eating spans — histogram
+      [dining.<instance>.hunger_latency] plus the exact-quantile digest
+      [dining.<instance>.hunger_latency_exact] (ticks from entering
+      Hungry to entering Eating, one sample per completed hunger
+      session), and the throughput series
+      [dining.<instance>.meals_per_window] ({!meals_window_width}-tick
+      windows).
 
     {!finalize} snapshots end-of-run totals: gauges [engine.clock],
     [engine.sent_total], [engine.in_flight_final] and per-tag
@@ -23,6 +28,10 @@
     section. *)
 
 type t
+
+val meals_window_width : int
+(** Window width (ticks) of the [dining.<instance>.meals_per_window]
+    throughput series. *)
 
 val install : metrics:Metrics.t -> Dsim.Engine.t -> t
 (** Install the hooks. Call before running the engine. *)

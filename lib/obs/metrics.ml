@@ -10,13 +10,23 @@ type histogram = {
   mutable max_v : int;
 }
 
-type item = Counter of counter | Gauge of gauge | Histogram of histogram
+type item =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Quantile of Quantile.t
+  | Series of Window.t
 
 type t = { tbl : (string, item) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 32 }
 
-let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+  | Quantile _ -> "quantile"
+  | Series _ -> "series"
 
 let register t name make match_existing =
   match Hashtbl.find_opt t.tbl name with
@@ -71,6 +81,20 @@ let histogram t name ~buckets =
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
 
+let quantile t name =
+  register t name
+    (fun () ->
+      let q = Quantile.create () in
+      (q, Quantile q))
+    (function Quantile q -> Some q | _ -> None)
+
+let series t name ~width =
+  register t name
+    (fun () ->
+      let w = Window.create ~width in
+      (w, Series w))
+    (function Series w -> Some w | _ -> None)
+
 let observe h v =
   let rec slot i =
     if i >= Array.length h.bounds then i else if v <= h.bounds.(i) then i else slot (i + 1)
@@ -98,6 +122,14 @@ let merge ~into src =
     | None, Histogram h ->
         Hashtbl.add into.tbl name
           (Histogram { h with bounds = Array.copy h.bounds; counts = Array.copy h.counts })
+    | None, Quantile q ->
+        let fresh = Quantile.create () in
+        Quantile.merge ~into:fresh q;
+        Hashtbl.add into.tbl name (Quantile fresh)
+    | None, Series w ->
+        let fresh = Window.create ~width:(Window.width w) in
+        Window.merge ~into:fresh w;
+        Hashtbl.add into.tbl name (Series fresh)
     | Some (Counter dst), Counter c -> dst.c <- dst.c + c.c
     | Some (Gauge dst), Gauge g -> dst.g <- g.g
     | Some (Histogram dst), Histogram h ->
@@ -108,6 +140,8 @@ let merge ~into src =
         dst.sum <- dst.sum + h.sum;
         if h.min_v < dst.min_v then dst.min_v <- h.min_v;
         if h.max_v > dst.max_v then dst.max_v <- h.max_v
+    | Some (Quantile dst), Quantile q -> Quantile.merge ~into:dst q
+    | Some (Series dst), Series w -> Window.merge ~into:dst w
     | Some existing, _ ->
         invalid_arg
           (Printf.sprintf "Metrics.merge: %S is a %s in the target, a %s in the source" name
@@ -155,4 +189,7 @@ let to_json t =
       ("gauges", Json.Obj (sorted (function Gauge g -> Some (Json.Int g.g) | _ -> None)));
       ( "histograms",
         Json.Obj (sorted (function Histogram h -> Some (histogram_json h) | _ -> None)) );
+      ( "quantiles",
+        Json.Obj (sorted (function Quantile q -> Some (Quantile.to_json q) | _ -> None)) );
+      ("series", Json.Obj (sorted (function Series w -> Some (Window.to_json w) | _ -> None)));
     ]

@@ -34,9 +34,22 @@ val histogram : t -> string -> buckets:int list -> histogram
 
 val observe : histogram -> int -> unit
 
+val quantile : t -> string -> Quantile.t
+(** Get-or-create an exact-quantile digest (see {!Quantile}). By
+    convention, exact digests shadowing a histogram use the histogram's
+    name with an [_exact] suffix (the name itself must be distinct — the
+    kind-clash rule applies). *)
+
+val series : t -> string -> width:int -> Window.t
+(** Get-or-create a per-tick-window series (see {!Window}). Get-or-create:
+    re-requesting an existing series ignores [width], mirroring histogram
+    [buckets]. *)
+
 val merge : into:t -> t -> unit
 (** [merge ~into src] folds [src] into [into]: counters add, histograms add
-    bucket-wise (raises [Invalid_argument] if bucket bounds differ), and
+    bucket-wise (raises [Invalid_argument] if bucket bounds differ),
+    quantile digests take the multiset union, series add window-wise
+    (raises [Invalid_argument] if widths differ), and
     gauges take the source value (last merge wins). Merging several
     registries in a canonical order — campaign drivers merge per-run
     registries in run-index order — therefore yields a canonical result
@@ -53,5 +66,7 @@ val depth_buckets : int list
 val to_json : t -> Json.t
 (** Deterministic snapshot: [{"counters":{...},"gauges":{...},
     "histograms":{name -> {"buckets":[{"le":b,"count":n}...,
-    {"le":"inf","count":n}],"count":N,"sum":S,"min":m,"max":M}}}] with all
-    names sorted. Empty histograms have [min]/[max] null. *)
+    {"le":"inf","count":n}],"count":N,"sum":S,"min":m,"max":M}},
+    "quantiles":{name -> Quantile.to_json},"series":{name ->
+    Window.to_json}}] with all names sorted. Empty histograms have
+    [min]/[max] null. *)

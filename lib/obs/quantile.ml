@@ -1,0 +1,160 @@
+(* Exact quantiles over integer samples.
+
+   Representation: a sorted run-length array of (value, count) pairs plus
+   a small fixed-capacity pending buffer of raw samples. When the buffer
+   fills it is sorted and merged into the runs — "deterministic
+   compaction": compaction happens at exactly the same points for the
+   same sample sequence, and the merged runs are a pure function of the
+   sample multiset, so two runs that observe the same values in the same
+   order hold byte-identical state at every step. No sampling, no decay:
+   the quantiles reported are exact nearest-rank statistics of everything
+   observed. Memory is O(distinct values), which for tick-valued
+   latencies is bounded by the horizon. *)
+
+type t = {
+  mutable runs : (int * int) array; (* (value, count), values strictly increasing *)
+  pending : int array;
+  mutable pending_len : int;
+  mutable n : int;
+  mutable sum : int;
+}
+
+let pending_capacity = 512
+
+let create () =
+  { runs = [||]; pending = Array.make pending_capacity 0; pending_len = 0; n = 0; sum = 0 }
+
+(* Merge the (sorted) pending samples into the run array. Linear in the
+   number of runs plus pending samples. *)
+let compact t =
+  if t.pending_len > 0 then begin
+    let p = Array.sub t.pending 0 t.pending_len in
+    Array.sort Int.compare p;
+    let old = t.runs in
+    let merged = Array.make (Array.length old + Array.length p) (0, 0) in
+    let mi = ref 0 in
+    let push v c =
+      if !mi > 0 && fst merged.(!mi - 1) = v then begin
+        let _, c0 = merged.(!mi - 1) in
+        merged.(!mi - 1) <- (v, c0 + c)
+      end
+      else begin
+        merged.(!mi) <- (v, c);
+        incr mi
+      end
+    in
+    let oi = ref 0 and pi = ref 0 in
+    while !oi < Array.length old || !pi < Array.length p do
+      if !pi >= Array.length p then begin
+        let v, c = old.(!oi) in
+        push v c;
+        incr oi
+      end
+      else if !oi >= Array.length old || p.(!pi) < fst old.(!oi) then begin
+        push p.(!pi) 1;
+        incr pi
+      end
+      else begin
+        let v, c = old.(!oi) in
+        push v c;
+        incr oi
+      end
+    done;
+    t.runs <- Array.sub merged 0 !mi;
+    t.pending_len <- 0
+  end
+
+let add t v =
+  if t.pending_len = Array.length t.pending then compact t;
+  t.pending.(t.pending_len) <- v;
+  t.pending_len <- t.pending_len + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v
+
+let count t = t.n
+let sum t = t.sum
+
+let min_value t =
+  compact t;
+  if t.n = 0 then None else Some (fst t.runs.(0))
+
+let max_value t =
+  compact t;
+  if t.n = 0 then None else Some (fst t.runs.(Array.length t.runs - 1))
+
+let quantile t q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Quantile.quantile: q outside [0, 1]";
+  compact t;
+  if t.n = 0 then None
+  else begin
+    (* Nearest-rank: the smallest value whose cumulative count reaches
+       rank = ceil(q * n), clamped to [1, n]. q = 0 is the minimum. *)
+    let rank = max 1 (min t.n (int_of_float (ceil (q *. float_of_int t.n)))) in
+    let rec go i acc =
+      let v, c = t.runs.(i) in
+      if acc + c >= rank then v else go (i + 1) (acc + c)
+    in
+    Some (go 0 0)
+  end
+
+let runs t =
+  compact t;
+  Array.to_list t.runs
+
+(* Multiset union: merge the two run arrays pairwise (one linear pass),
+   so the result is independent of merge order — campaigns merging
+   per-run digests in any order produce the same statistics, though
+   drivers still merge in run-index order for uniformity with gauges. *)
+let merge ~into src =
+  compact src;
+  compact into;
+  let a = into.runs and b = src.runs in
+  let merged = Array.make (Array.length a + Array.length b) (0, 0) in
+  let mi = ref 0 in
+  let push v c =
+    if !mi > 0 && fst merged.(!mi - 1) = v then begin
+      let _, c0 = merged.(!mi - 1) in
+      merged.(!mi - 1) <- (v, c0 + c)
+    end
+    else begin
+      merged.(!mi) <- (v, c);
+      incr mi
+    end
+  in
+  let ai = ref 0 and bi = ref 0 in
+  while !ai < Array.length a || !bi < Array.length b do
+    if !ai >= Array.length a then begin
+      let v, c = b.(!bi) in
+      push v c;
+      incr bi
+    end
+    else if !bi >= Array.length b || fst a.(!ai) <= fst b.(!bi) then begin
+      let v, c = a.(!ai) in
+      push v c;
+      incr ai
+    end
+    else begin
+      let v, c = b.(!bi) in
+      push v c;
+      incr bi
+    end
+  done;
+  into.runs <- Array.sub merged 0 !mi;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum
+
+let json_of_opt = function Some v -> Json.Int v | None -> Json.Null
+
+let to_json t =
+  let q p = json_of_opt (quantile t p) in
+  Json.Obj
+    [
+      ("count", Json.Int t.n);
+      ("sum", Json.Int t.sum);
+      ("min", json_of_opt (min_value t));
+      ("max", json_of_opt (max_value t));
+      ("p50", q 0.5);
+      ("p90", q 0.9);
+      ("p99", q 0.99);
+      ("p999", q 0.999);
+    ]

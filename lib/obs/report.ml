@@ -69,20 +69,22 @@ let validate j =
 
 let campaign_schema_version = "dinersim-campaign/1"
 
-let make_campaign ~cmd ~root_seed ~runs ~violations ?(config = []) ?metrics ~entries ?wall () =
+let make_campaign ~cmd ~root_seed ~runs ~violations ?(config = []) ?metrics ?coverage ~entries
+    ?wall () =
   Json.Obj
-    [
-      ("schema", Json.Str campaign_schema_version);
-      ("cmd", Json.Str cmd);
-      ("root_seed", Json.Str (Printf.sprintf "0x%Lx" root_seed));
-      ("runs", Json.Int runs);
-      ("violations", Json.Int violations);
-      ("config", Json.Obj config);
-      ("entries", Json.Arr entries);
-      ( "metrics",
-        match metrics with Some m -> Metrics.to_json m | None -> Json.Obj [] );
-      ("wall_clock", Option.value ~default:Json.Null wall);
-    ]
+    ([
+       ("schema", Json.Str campaign_schema_version);
+       ("cmd", Json.Str cmd);
+       ("root_seed", Json.Str (Printf.sprintf "0x%Lx" root_seed));
+       ("runs", Json.Int runs);
+       ("violations", Json.Int violations);
+       ("config", Json.Obj config);
+       ("entries", Json.Arr entries);
+       ( "metrics",
+         match metrics with Some m -> Metrics.to_json m | None -> Json.Obj [] );
+     ]
+    @ (match coverage with Some c -> [ ("coverage", c) ] | None -> [])
+    @ [ ("wall_clock", Option.value ~default:Json.Null wall) ])
 
 let validate_campaign j =
   (match Json.find j "schema" with
@@ -92,9 +94,17 @@ let validate_campaign j =
   (match (Json.find j "runs", Json.find j "violations") with
   | Some (Json.Int _), Some (Json.Int _) -> ()
   | _ -> failwith "Report.read_campaign: missing runs/violations counters");
-  match Json.find j "entries" with
+  (match Json.find j "entries" with
   | Some (Json.Arr _) -> ()
-  | _ -> failwith "Report.read_campaign: missing entries array"
+  | _ -> failwith "Report.read_campaign: missing entries array");
+  (* The coverage block is optional (older summaries predate it) but must
+     be well-formed when present. *)
+  match Json.find j "coverage" with
+  | None -> ()
+  | Some c -> (
+      match (Json.find c "width", Json.find c "edges", Json.find c "bitmap") with
+      | Some (Json.Int _), Some (Json.Int _), Some (Json.Str _) -> ()
+      | _ -> failwith "Report.read_campaign: malformed coverage block")
 
 (* ------------------------------------------------------------------ *)
 (* simlint reports: the determinism linter's canonical document. Obs
@@ -175,6 +185,74 @@ let strip_wall_clock = function
   | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "wall_clock") fields)
   | j -> j
 
+(* Latency-digest lines for the human summaries: approximate quantiles
+   reconstructed from histogram bucket counts (bounded by the bucket's
+   inclusive upper bound, hence "<="), plus the exact digests when the
+   report carries them. *)
+let pp_metrics_latencies fmt j =
+  match Json.find j "metrics" with
+  | None -> ()
+  | Some m ->
+      (match Json.find m "histograms" with
+      | Some (Json.Obj hists) ->
+          List.iter
+            (fun (name, h) ->
+              let count = match Json.find h "count" with Some (Json.Int n) -> n | _ -> 0 in
+              if count > 0 then begin
+                let buckets =
+                  match Json.find h "buckets" with
+                  | Some (Json.Arr bs) ->
+                      List.map
+                        (fun b ->
+                          let le = Json.find b "le" in
+                          let c =
+                            match Json.find b "count" with Some (Json.Int c) -> c | _ -> 0
+                          in
+                          (le, c))
+                        bs
+                  | _ -> []
+                in
+                let last_finite =
+                  List.fold_left
+                    (fun acc (le, _) -> match le with Some (Json.Int b) -> Some b | _ -> acc)
+                    None buckets
+                in
+                let approx q =
+                  let rank = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+                  let rec go acc = function
+                    | [] -> "?"
+                    | (le, c) :: rest ->
+                        if acc + c >= rank then
+                          match le with
+                          | Some (Json.Int b) -> Printf.sprintf "<=%d" b
+                          | _ -> (
+                              (* overflow bucket *)
+                              match last_finite with
+                              | Some b -> Printf.sprintf ">%d" b
+                              | None -> "?")
+                        else go (acc + c) rest
+                  in
+                  go 0 buckets
+                in
+                Format.fprintf fmt "  %s: n=%d p50%s p99%s (bucket bounds)@." name count
+                  (approx 0.5) (approx 0.99)
+              end)
+            hists
+      | _ -> ());
+      (match Json.find m "quantiles" with
+      | Some (Json.Obj qs) ->
+          List.iter
+            (fun (name, q) ->
+              let int k = match Json.find q k with Some (Json.Int n) -> Some n | _ -> None in
+              match int "count" with
+              | Some n when n > 0 ->
+                  let s k = match int k with Some v -> string_of_int v | None -> "-" in
+                  Format.fprintf fmt "  %s: n=%d p50=%s p90=%s p99=%s p999=%s (exact)@." name n
+                    (s "p50") (s "p90") (s "p99") (s "p999")
+              | _ -> ())
+            qs
+      | _ -> ())
+
 let pp_summary fmt j =
   let field k = match Json.find j k with Some v -> v | None -> Json.Null in
   Format.fprintf fmt "report: cmd=%s seed=%s horizon=%s@."
@@ -194,6 +272,7 @@ let pp_summary fmt j =
             (if detail = "" then "" else " — " ^ detail))
         checks
   | _ -> ());
+  pp_metrics_latencies fmt j;
   Format.fprintf fmt "  all checks: %s@." (if passed j then "ok" else "FAIL")
 
 let pp_campaign_summary fmt j =
@@ -214,6 +293,19 @@ let pp_campaign_summary fmt j =
           Format.fprintf fmt "  run %04d: %s@." run (String.concat ", " failed))
         entries
   | _ -> ());
+  (match Json.find j "coverage" with
+  | Some c ->
+      let cint k = match Json.find c k with Some (Json.Int n) -> n | _ -> 0 in
+      let growth =
+        match Json.find c "growth" with
+        | Some (Json.Arr g) -> List.filter_map (function Json.Int n -> Some n | _ -> None) g
+        | _ -> []
+      in
+      let first = match growth with n :: _ -> n | [] -> 0 in
+      Format.fprintf fmt "  coverage: %d/%d edge buckets (run 0: %d)@." (cint "edges")
+        (cint "width") first
+  | None -> ());
+  pp_metrics_latencies fmt j;
   Format.fprintf fmt "  verdict: %s@." (if int "violations" = 0 then "ok" else "FAIL")
 
 let pp_simlint_summary fmt j =

@@ -60,7 +60,9 @@ val strip_wall_clock : Json.t -> Json.t
     compare reports across runs. *)
 
 val pp_summary : Format.formatter -> Json.t -> unit
-(** Short human rendering: cmd, seed, pass/fail per check. *)
+(** Short human rendering: cmd, seed, pass/fail per check, and a latency
+    digest per non-empty metrics histogram (approximate p50/p99 bucket
+    bounds) and exact-quantile entry (true p50/p90/p99/p999). *)
 
 (** {1 Campaign summaries}
 
@@ -78,13 +80,18 @@ val make_campaign :
   violations:int ->
   ?config:(string * Json.t) list ->
   ?metrics:Metrics.t ->
+  ?coverage:Json.t ->
   entries:Json.t list ->
   ?wall:Json.t ->
   unit ->
   Json.t
 (** [metrics] is the campaign's merged per-run registry snapshot — part of
     the canonical body (it is deterministic in the root seed), unlike
-    ["wall_clock"]. Omitted, the field is an empty object. *)
+    ["wall_clock"]. Omitted, the field is an empty object. [coverage] is
+    the campaign's schedule-coverage block
+    ([{"width","edges","digest","growth","bitmap"}], see
+    {!Coverage.to_json} and {!Check}'s campaign driver); also canonical.
+    Omitted, the field is absent. *)
 
 val read_campaign : path:string -> Json.t
 (** Parse and validate a campaign summary: schema tag, run/violation
@@ -96,8 +103,9 @@ val read_any : path:string -> [ `Run of Json.t | `Campaign of Json.t | `Simlint 
     reports). Raises [Failure] on invalid input. *)
 
 val pp_campaign_summary : Format.formatter -> Json.t -> unit
-(** Short human rendering of a campaign summary: counters plus one line
-    per violation entry. *)
+(** Short human rendering of a campaign summary: counters, one line per
+    violation entry, the schedule-coverage line when the summary carries
+    a coverage block, and the same latency digests as {!pp_summary}. *)
 
 (** {1 simlint reports}
 

@@ -1,0 +1,182 @@
+(* Span layer: folds the flat trace stream into per-(instance, diner)
+   phase spans — the interval view of the run that latency accounting,
+   the Chrome-trace export and (eventually) open-loop workload reporting
+   all share. One collector subscribes to a live trace (or replays a
+   recorded one); each Transition event closes the diner's current span
+   and opens the next. Spans still open when the caller asks for the
+   final list are closed at the horizon and flagged [closed = false]. *)
+
+open Dsim
+
+type span = {
+  instance : string;
+  pid : Types.pid;
+  phase : Types.phase;
+  start : Types.time;
+  stop : Types.time; (* exclusive; the horizon for spans still open there *)
+  closed : bool; (* false: cut at the horizon, not ended by a transition *)
+}
+
+type t = {
+  open_ : (string * Types.pid, Types.phase * Types.time) Hashtbl.t;
+  mutable closed : span list; (* reverse chronological close order *)
+  retain : bool;
+  mutable on_close : (span -> next:Types.phase -> unit) list; (* registration order *)
+}
+
+let create ?(retain = true) () =
+  { open_ = Hashtbl.create 64; closed = []; retain; on_close = [] }
+
+let on_close t f = t.on_close <- t.on_close @ [ f ]
+
+let observe t (e : Trace.entry) =
+  match e.Trace.ev with
+  | Trace.Transition { instance; pid; from_; to_ } ->
+      let key = (instance, pid) in
+      let phase, start =
+        match Hashtbl.find_opt t.open_ key with
+        | Some opened -> opened
+        | None -> (from_, 0) (* diners start Thinking at tick 0 *)
+      in
+      let sp = { instance; pid; phase; start; stop = e.Trace.at; closed = true } in
+      List.iter (fun f -> f sp ~next:to_) t.on_close;
+      (* Zero-length spans (entered and left within one tick) fire the
+         close callbacks — a 0-tick hunger session is still a latency
+         sample — but are dropped from the retained interval list, like
+         Trace.phase_timeline drops zero-length segments. *)
+      if t.retain && sp.stop > sp.start then t.closed <- sp :: t.closed;
+      Hashtbl.replace t.open_ key (to_, e.Trace.at)
+  | Trace.Suspect _ | Trace.Trust _ | Trace.Crash _ | Trace.Note _ -> ()
+
+let attach t tr =
+  Trace.iter tr (observe t);
+  Trace.subscribe tr (observe t)
+
+let compare_span a b =
+  let c = String.compare a.instance b.instance in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.pid b.pid in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.start b.start in
+      if c <> 0 then c else Int.compare a.stop b.stop
+
+let spans t ~horizon =
+  if not t.retain then invalid_arg "Span.spans: collector created with ~retain:false";
+  (* Hashtbl order is nondeterministic; sorting makes the list canonical
+     (simlint D003). *)
+  Hashtbl.fold
+    (fun (instance, pid) (phase, start) acc ->
+      if horizon > start then
+        { instance; pid; phase; start; stop = horizon; closed = false } :: acc
+      else acc)
+    t.open_ (List.rev t.closed)
+  |> List.sort compare_span
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event ("trace_event/1") export, openable in Perfetto or
+   chrome://tracing. Ticks are rendered as microseconds — the absolute
+   scale is meaningless for a simulation, only the proportions matter.
+   Every field is derived from the trace, so the document bytes are
+   deterministic in the seed. *)
+
+let schema_version = "trace_event/1"
+
+let chrome_span_event ~tid sp =
+  Json.Obj
+    [
+      ("name", Json.Str (Types.phase_to_string sp.phase));
+      ("cat", Json.Str ("phase," ^ sp.instance));
+      ("ph", Json.Str "X");
+      ("ts", Json.Int sp.start);
+      ("dur", Json.Int (sp.stop - sp.start));
+      ("pid", Json.Int sp.pid);
+      ("tid", Json.Int tid);
+      ( "args",
+        Json.Obj
+          ([ ("instance", Json.Str sp.instance) ]
+          @ if sp.closed then [] else [ ("open_at_horizon", Json.Bool true) ]) );
+    ]
+
+let chrome_instant ~name ~cat ~pid ?(args = []) at =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str "i");
+       ("ts", Json.Int at);
+       ("pid", Json.Int pid);
+       ("s", Json.Str "p");
+     ]
+    @ match args with [] -> [] | args -> [ ("args", Json.Obj args) ])
+
+let chrome_of_trace ?horizon tr =
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+        (* Default: just past the last recorded event. *)
+        let last = ref 0 in
+        Trace.iter tr (fun e -> if e.Trace.at > !last then last := e.Trace.at);
+        !last + 1
+  in
+  let collector = create () in
+  Trace.iter tr (observe collector);
+  let spans = spans collector ~horizon in
+  (* One Chrome thread lane per dining instance, numbered in sorted
+     instance order so the lane assignment is canonical. *)
+  let instances =
+    List.sort_uniq String.compare (List.map (fun sp -> sp.instance) spans)
+  in
+  let tid_of instance =
+    let rec go i = function
+      | [] -> 0
+      | x :: rest -> if String.equal x instance then i else go (i + 1) rest
+    in
+    go 0 instances
+  in
+  let span_events = List.map (fun sp -> chrome_span_event ~tid:(tid_of sp.instance) sp) spans in
+  let instant_events =
+    List.filter_map
+      (fun (e : Trace.entry) ->
+        match e.Trace.ev with
+        | Trace.Suspect { detector; owner; target } ->
+            Some
+              (chrome_instant
+                 ~name:(Printf.sprintf "suspect p%d" target)
+                 ~cat:("detector," ^ detector) ~pid:owner e.Trace.at)
+        | Trace.Trust { detector; owner; target } ->
+            Some
+              (chrome_instant
+                 ~name:(Printf.sprintf "trust p%d" target)
+                 ~cat:("detector," ^ detector) ~pid:owner e.Trace.at)
+        | Trace.Crash { pid } -> Some (chrome_instant ~name:"crash" ~cat:"crash" ~pid e.Trace.at)
+        | Trace.Note { pid; label; info } ->
+            Some
+              (chrome_instant ~name:label ~cat:"note" ~pid
+                 ~args:[ ("info", Json.Str info) ]
+                 e.Trace.at)
+        | Trace.Transition _ -> None)
+      (Trace.entries tr)
+  in
+  let metadata =
+    List.concat_map
+      (fun pid ->
+        [
+          Json.Obj
+            [
+              ("name", Json.Str "process_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.Int pid);
+              ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "p%d" pid)) ]);
+            ];
+        ])
+      (List.sort_uniq Int.compare (List.map (fun sp -> sp.pid) spans))
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.Arr (metadata @ span_events @ instant_events));
+    ]

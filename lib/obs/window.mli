@@ -1,0 +1,35 @@
+(** Per-tick-window event series.
+
+    A series splits the global clock into consecutive windows of a fixed
+    width (in ticks) and counts events per window — the throughput-over-
+    time view the heavy-traffic workloads report (e.g. meals per
+    1000-tick window). Driven entirely by simulation timestamps, so a
+    series is deterministic in the engine seed. *)
+
+type t
+
+val create : width:int -> t
+(** Raises [Invalid_argument] when [width <= 0]. *)
+
+val width : t -> int
+
+val observe : ?by:int -> t -> at:int -> unit
+(** Count [by] (default 1) events in the window containing tick [at].
+    Raises [Invalid_argument] on a negative timestamp. *)
+
+val total : t -> int
+(** Sum over all windows. *)
+
+val peak : t -> int
+(** Largest single-window count (0 when empty). *)
+
+val counts : t -> int array
+(** Per-window counts from window 0 through the highest window touched;
+    a fresh array. *)
+
+val merge : into:t -> t -> unit
+(** Window-wise addition. Order-independent. Raises [Invalid_argument]
+    when the widths differ. [src] is not modified. *)
+
+val to_json : t -> Json.t
+(** [{"width":W,"total":N,"peak":P,"counts":[...]}] — deterministic. *)

@@ -71,6 +71,11 @@ let run_config algo (gspec, adv, ncrash, seed) =
   let graph = graph_of seed gspec in
   let n = Graphs.Conflict_graph.n graph in
   let engine = Engine.create ~seed ~n ~adversary:(adversary_of adv) () in
+  (* Per-config registry, installed before components register so the
+     hooks see the whole run; merged in grid order after the parallel
+     phase, like the campaign driver. *)
+  let metrics = Obs.Metrics.create () in
+  let inst = Obs.Instrument.install ~metrics engine in
   let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
   for pid = 0 to n - 1 do
     let ctx = Engine.ctx engine pid in
@@ -86,6 +91,7 @@ let run_config algo (gspec, adv, ncrash, seed) =
   if ncrash >= 1 then Engine.schedule_crash engine (n - 1) ~at:(600 + Int64.to_int (Int64.rem seed 1500L));
   if ncrash >= 2 && n > 3 then Engine.schedule_crash engine 1 ~at:2200;
   Engine.run engine ~until:14000;
+  Obs.Instrument.finalize inst;
   let trace = Engine.trace engine in
   let wf = Dining.Monitor.wait_freedom trace ~instance:"dx" ~n ~horizon:14000 ~slack:4500 in
   let wx = Dining.Monitor.eventual_weak_exclusion trace ~instance:"dx" ~graph ~horizon:14000 ~suffix_from:8000 in
@@ -110,7 +116,7 @@ let run_config algo (gspec, adv, ncrash, seed) =
            algo (gname gspec) (aname adv) ncrash seed
            wf.Detectors.Properties.holds wx.Detectors.Properties.holds)
   in
-  (entry, fail_line)
+  (entry, fail_line, metrics)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -137,15 +143,17 @@ let () =
     | _ -> Printf.sprintf "STRESS_%s.json" algo
   in
   let specs = grid base_seed in
-  let (results : (Obs.Json.t * string option) array), total_s =
+  let (results : (Obs.Json.t * string option * Obs.Metrics.t) array), total_s =
     Obs.Instrument.time (fun () ->
         Exec.Pool.map ~jobs (Array.length specs) (fun i -> run_config algo specs.(i)))
   in
-  (* Merge phase, in grid order: failure lines and report entries come out
-     identical for every -j. *)
+  (* Merge phase, in grid order: failure lines, report entries and the
+     merged metrics registry come out identical for every -j. *)
   let fails = ref 0 in
+  let metrics = Obs.Metrics.create () in
   Array.iter
-    (fun (_, fail_line) ->
+    (fun (_, fail_line, m) ->
+      Obs.Metrics.merge ~into:metrics m;
       match fail_line with
       | Some line ->
           incr fails;
@@ -159,7 +167,8 @@ let () =
         ("algo", Obs.Json.Str algo);
         ("runs", Obs.Json.Int (Array.length specs));
         ("failures", Obs.Json.Int !fails);
-        ("configs", Obs.Json.Arr (Array.to_list (Array.map fst results)));
+        ("configs", Obs.Json.Arr (Array.to_list (Array.map (fun (e, _, _) -> e) results)));
+        ("metrics", Obs.Metrics.to_json metrics);
         (* Everything above is deterministic in (--seed, algo); wall_clock
            is the only section allowed to vary between invocations. *)
         ( "wall_clock",

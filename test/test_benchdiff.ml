@@ -1,0 +1,168 @@
+(* Tests for tools/benchdiff: the perf-regression gate over
+   dinersim-bench/1 snapshots. All inputs are synthetic documents built
+   in-memory; `make bench-diff` exercises the same code against the real
+   committed BENCH_dining.json. *)
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* A minimal well-formed dinersim-bench/1 document. *)
+let doc entries =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "dinersim-bench/1");
+      ("suite", Obs.Json.Str "dining");
+      ("trials", Obs.Json.Int 3);
+      ("jobs", Obs.Json.Int 2);
+      ( "experiments",
+        Obs.Json.Arr
+          (List.map
+             (fun (k, w) ->
+               Obs.Json.Obj
+                 [ ("key", Obs.Json.Str k); ("doc", Obs.Json.Str "d"); ("wall_s", w) ])
+             entries) );
+    ]
+
+let f s = Obs.Json.Float s
+
+let diff ?(threshold = 1.5) ?(min_base_s = 0.02) base cand =
+  Benchdiff.Diff.of_json ~threshold ~min_base_s ~baseline:(doc base) ~candidate:(doc cand)
+
+let entry d key =
+  match List.find_opt (fun e -> e.Benchdiff.Diff.key = key) d.Benchdiff.Diff.entries with
+  | Some e -> e
+  | None -> Alcotest.failf "no entry for %s" key
+
+let test_within_threshold_passes () =
+  let d = diff [ ("a", f 1.0); ("b", f 0.5) ] [ ("a", f 1.2); ("b", f 0.6) ] in
+  check "ok" true (Benchdiff.Diff.ok d);
+  Alcotest.(check (list string)) "no regressions" [] (Benchdiff.Diff.regressions d);
+  Alcotest.(check int) "both entries compared" 2 (List.length d.Benchdiff.Diff.entries);
+  let ea = entry d "a" in
+  check "ratio computed" true (abs_float (ea.Benchdiff.Diff.ratio -. 1.2) < 1e-9);
+  check "not skipped" false ea.Benchdiff.Diff.skipped;
+  (* Exactly at the threshold is not a regression: the gate is strict >. *)
+  let at = diff [ ("a", f 1.0) ] [ ("a", f 1.5) ] in
+  check "at-threshold passes" true (Benchdiff.Diff.ok at)
+
+let test_slowdown_caught () =
+  let d = diff [ ("a", f 1.0); ("b", f 0.5) ] [ ("a", f 2.2); ("b", f 0.6) ] in
+  check "gate fails" false (Benchdiff.Diff.ok d);
+  Alcotest.(check (list string)) "the slow experiment is named" [ "a" ]
+    (Benchdiff.Diff.regressions d);
+  check "entry flagged" true (entry d "a").Benchdiff.Diff.regressed;
+  check "fast entry untouched" false (entry d "b").Benchdiff.Diff.regressed
+
+let test_noise_floor_skips () =
+  (* A 50x blowup on a 1 ms baseline is scheduler jitter, not a
+     regression; the entry is reported but never gates. *)
+  let d = diff [ ("tiny", f 0.001); ("real", f 1.0) ] [ ("tiny", f 0.05); ("real", f 1.0) ] in
+  check "ok despite the sub-floor blowup" true (Benchdiff.Diff.ok d);
+  let e = entry d "tiny" in
+  check "skipped" true e.Benchdiff.Diff.skipped;
+  check "not regressed" false e.Benchdiff.Diff.regressed;
+  (* With the floor at zero the same blowup gates. *)
+  let d0 = diff ~min_base_s:0.0 [ ("tiny", f 0.001) ] [ ("tiny", f 0.05) ] in
+  check "floor 0 gates it" false (Benchdiff.Diff.ok d0)
+
+let test_zero_baseline_ratio_is_infinite () =
+  let d = diff ~min_base_s:0.0 [ ("z", f 0.0) ] [ ("z", f 0.1) ] in
+  let e = entry d "z" in
+  check "infinite ratio" true (e.Benchdiff.Diff.ratio = infinity);
+  check "regressed" true e.Benchdiff.Diff.regressed;
+  (* The JSON form encodes the non-finite ratio as the string "inf". *)
+  let j = Benchdiff.Diff.to_json d in
+  let entries = Obs.Json.(arr (get j "entries")) in
+  check "json ratio is \"inf\"" true
+    (List.exists (fun ej -> Obs.Json.find ej "ratio" = Some (Obs.Json.Str "inf")) entries)
+
+let test_missing_and_extra_experiments () =
+  let d = diff [ ("a", f 1.0); ("b", f 1.0) ] [ ("a", f 1.0); ("c", f 1.0) ] in
+  Alcotest.(check (list string)) "baseline key absent from candidate" [ "b" ]
+    d.Benchdiff.Diff.missing;
+  Alcotest.(check (list string)) "candidate-only key reported" [ "c" ] d.Benchdiff.Diff.extra;
+  (* A dropped experiment fails the gate even with no slowdown... *)
+  check "missing fails the gate" false (Benchdiff.Diff.ok d);
+  (* ...but a new one does not. *)
+  let d' = diff [ ("a", f 1.0) ] [ ("a", f 1.0); ("c", f 9.0) ] in
+  check "extra alone passes" true (Benchdiff.Diff.ok d')
+
+let test_int_wall_s_accepted () =
+  (* Hand-edited snapshots may carry integer seconds; the codec keeps
+     1 distinct from 1.0, so the diff must accept both. *)
+  let d = diff [ ("a", Obs.Json.Int 1) ] [ ("a", Obs.Json.Int 2) ] in
+  check "int medians compared" false (Benchdiff.Diff.ok d);
+  check "ratio from ints" true (abs_float ((entry d "a").Benchdiff.Diff.ratio -. 2.0) < 1e-9)
+
+let test_json_report_shape () =
+  let d = diff [ ("a", f 1.0) ] [ ("a", f 2.2) ] in
+  let j = Benchdiff.Diff.to_json d in
+  check_str "schema tag" Benchdiff.Diff.schema_version Obs.Json.(str (get j "schema"));
+  check "ok field" true (Obs.Json.find j "ok" = Some (Obs.Json.Bool false));
+  check "regressions listed" true
+    (Obs.Json.find j "regressions" = Some (Obs.Json.Arr [ Obs.Json.Str "a" ]));
+  let rendered = Format.asprintf "%a" Benchdiff.Diff.pp d in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "pp names the regression" true (contains "REGRESSED" rendered);
+  check "pp verdict is FAIL" true (contains "verdict: FAIL" rendered)
+
+let test_malformed_inputs_rejected () =
+  let ok_doc = doc [ ("a", f 1.0) ] in
+  let reject ~baseline ~candidate =
+    match Benchdiff.Diff.of_json ~threshold:1.5 ~min_base_s:0.02 ~baseline ~candidate with
+    | _ -> Alcotest.fail "malformed document accepted"
+    | exception Failure _ -> ()
+  in
+  reject ~baseline:(Obs.Json.Obj []) ~candidate:ok_doc;
+  reject ~baseline:(Obs.Json.Obj [ ("schema", Obs.Json.Str "other/1") ]) ~candidate:ok_doc;
+  reject ~baseline:ok_doc
+    ~candidate:(Obs.Json.Obj [ ("schema", Obs.Json.Str "dinersim-bench/1") ]);
+  reject ~baseline:ok_doc
+    ~candidate:
+      (Obs.Json.Obj
+         [
+           ("schema", Obs.Json.Str "dinersim-bench/1");
+           ( "experiments",
+             Obs.Json.Arr [ Obs.Json.Obj [ ("key", Obs.Json.Str "a") ] ] );
+         ])
+
+let test_parameter_validation () =
+  let ok_doc = doc [ ("a", f 1.0) ] in
+  (try
+     ignore
+       (Benchdiff.Diff.of_json ~threshold:1.0 ~min_base_s:0.02 ~baseline:ok_doc
+          ~candidate:ok_doc);
+     Alcotest.fail "threshold 1.0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Benchdiff.Diff.of_json ~threshold:1.5 ~min_base_s:(-0.1) ~baseline:ok_doc
+         ~candidate:ok_doc);
+    Alcotest.fail "negative noise floor accepted"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "benchdiff"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "within threshold passes" `Quick test_within_threshold_passes;
+          Alcotest.test_case "slowdown caught" `Quick test_slowdown_caught;
+          Alcotest.test_case "noise floor skips tiny baselines" `Quick test_noise_floor_skips;
+          Alcotest.test_case "zero baseline is an infinite ratio" `Quick
+            test_zero_baseline_ratio_is_infinite;
+          Alcotest.test_case "missing and extra experiments" `Quick
+            test_missing_and_extra_experiments;
+          Alcotest.test_case "integer medians accepted" `Quick test_int_wall_s_accepted;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "json report shape" `Quick test_json_report_shape;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_malformed_inputs_rejected;
+          Alcotest.test_case "parameter validation" `Quick test_parameter_validation;
+        ] );
+    ]

@@ -207,6 +207,87 @@ let test_campaign_jobs_invariance () =
     [ 2; 7 ]
 
 (* ------------------------------------------------------------------ *)
+(* Schedule-coverage signatures *)
+
+let test_coverage_jobs_invariance () =
+  (* The campaign's union bitmap and growth curve are canonical: byte- and
+     element-identical for every worker count, because per-run signatures
+     are pure functions of the config and the union is merged in run-index
+     order. *)
+  let coverage_of jobs =
+    let r =
+      Check.Campaign.run ~runs:20 ~max_horizon:3000 ~jobs
+        ~registry:Check.Runner.default_registry ~root_seed:0xC0FFEEL ()
+    in
+    (Obs.Coverage.to_hex r.Check.Campaign.coverage, r.Check.Campaign.coverage_growth)
+  in
+  let hex1, growth1 = coverage_of 1 in
+  Alcotest.(check int) "one growth point per run" 20 (List.length growth1);
+  Alcotest.(check bool) "growth curve is monotone non-decreasing" true
+    (fst
+       (List.fold_left (fun (ok, prev) g -> (ok && g >= prev, g)) (true, 0) growth1));
+  Alcotest.(check bool) "campaign accumulated edges" true
+    (List.fold_left max 0 growth1 > 0);
+  List.iter
+    (fun jobs ->
+      let hex, growth = coverage_of jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d union bitmap matches jobs=1" jobs)
+        hex1 hex;
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d growth curve matches jobs=1" jobs)
+        growth1 growth)
+    [ 2; 7 ]
+
+(* Nudge exactly one adversary knob, preserving the family when it has
+   one. *)
+let bump_adversary = function
+  | Check.Config.Sync -> Check.Config.Async { max_delay = 4; step_prob_pct = 70 }
+  | Check.Config.Async a -> Check.Config.Async { a with max_delay = a.max_delay + 3 }
+  | Check.Config.Partial p -> Check.Config.Partial { p with gst = p.gst + 500 }
+  | Check.Config.Bursty b -> Check.Config.Bursty { b with storm_delay = b.storm_delay + 3 }
+
+let test_coverage_knob_sensitivity () =
+  let registry = Check.Runner.default_registry in
+  let c = some_config () in
+  let base = (Check.Runner.run ~registry c).Check.Runner.coverage in
+  let same = (Check.Runner.run ~registry c).Check.Runner.coverage in
+  Alcotest.(check bool) "same config, identical signature" true
+    (Obs.Coverage.equal base same);
+  let tweaked = { c with Check.Config.adversary = bump_adversary c.Check.Config.adversary } in
+  let cov = (Check.Runner.run ~registry tweaked).Check.Runner.coverage in
+  Alcotest.(check bool) "changed adversary knob changes the signature" false
+    (Obs.Coverage.equal base cov);
+  Alcotest.(check bool) "the changed knob flips at least one edge bucket" true
+    (Obs.Coverage.new_edges ~seen:base cov >= 1)
+
+(* The coverage digest of one corpus artifact, replayed with its recorded
+   decision overrides. Pinned like pinned_broken_digest above: it only
+   changes when the engine, the trace vocabulary or the coverage hash
+   change — regenerate the corpus and update the constant then. *)
+let pinned_sync_coverage_digest = "8e56ee1a311381cdbe65d1873832b171"
+
+let test_corpus_coverage_digest_pinned () =
+  (* Under `dune runtest` the corpus is a sandbox dep next to the binary;
+     fall back to the source path for manual `dune exec` from the root. *)
+  let path =
+    if Sys.file_exists "corpus/family-sync.json" then "corpus/family-sync.json"
+    else "test/corpus/family-sync.json"
+  in
+  let r = Check.Repro.load ~path in
+  let outcome =
+    Check.Runner.run
+      ~replay:(r.Check.Repro.len, r.Check.Repro.overrides)
+      ~registry:Check.Runner.default_registry r.Check.Repro.config
+  in
+  let digest = Obs.Coverage.digest outcome.Check.Runner.coverage in
+  (match update_dir with
+  | Some _ -> Printf.printf "corpus: family-sync coverage digest %s\n%!" digest
+  | None -> ());
+  Alcotest.(check string) "family-sync schedule-coverage digest is pinned"
+    pinned_sync_coverage_digest digest
+
+(* ------------------------------------------------------------------ *)
 (* Corpus *)
 
 let family_seed = function `Sync -> 0xC0001L | `Async -> 0xC0002L | `Partial -> 0xC0003L | `Bursty -> 0xC0004L
@@ -291,6 +372,15 @@ let () =
             test_pool_exception_lowest_index;
           Alcotest.test_case "campaign canonical output is jobs-invariant" `Slow
             test_campaign_jobs_invariance;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "union bitmap is jobs-invariant" `Slow
+            test_coverage_jobs_invariance;
+          Alcotest.test_case "adversary knob flips edge buckets" `Quick
+            test_coverage_knob_sensitivity;
+          Alcotest.test_case "corpus coverage digest is pinned" `Quick
+            test_corpus_coverage_digest_pinned;
         ] );
       ( "corpus",
         [

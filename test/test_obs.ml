@@ -55,11 +55,11 @@ let test_json_accessors () =
 (* ------------------------------------------------------------------ *)
 (* Sinks *)
 
-let seeded_dining_run ?(retain_trace = true) ?(horizon = 5000) ?(sink = None) () =
+let seeded_dining_run ?(seed = 41L) ?(retain_trace = true) ?(horizon = 5000) ?(sink = None) () =
   let graph = Graphs.Conflict_graph.ring ~n:5 in
   let n = Graphs.Conflict_graph.n graph in
   let engine =
-    Engine.create ~seed:41L ~retain_trace ~n ~adversary:(Adversary.partial_sync ~gst:400 ()) ()
+    Engine.create ~seed ~retain_trace ~n ~adversary:(Adversary.partial_sync ~gst:400 ()) ()
   in
   (match sink with Some s -> Obs.Sink.attach (Engine.trace engine) s | None -> ());
   let suspects = Core.Scenario.evp_suspects engine ~n ~windows:[] in
@@ -202,6 +202,354 @@ let test_metrics_determinism () =
   let hist = Obs.Json.(get (get j "histograms") "dining.dx.hunger_latency") in
   check "hunger sessions observed" true Obs.Json.(int (get hist "count") > 0)
 
+let test_metrics_merge_edge_cases () =
+  (* Empty histograms on both sides: min/max must stay null after the
+     merge, not collapse to 0. *)
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  ignore (Obs.Metrics.histogram a "h" ~buckets:[ 10; 100 ]);
+  ignore (Obs.Metrics.histogram b "h" ~buckets:[ 10; 100 ]);
+  Obs.Metrics.merge ~into:a b;
+  let hist_of m = Obs.Json.(get (get (Obs.Metrics.to_json m) "histograms") "h") in
+  let ja = hist_of a in
+  check "empty+empty min stays null" true (Obs.Json.get ja "min" = Obs.Json.Null);
+  check "empty+empty max stays null" true (Obs.Json.get ja "max" = Obs.Json.Null);
+  check_int "empty+empty count" 0 Obs.Json.(int (get ja "count"));
+  (* An empty source merged into a populated destination must not disturb
+     the destination's extrema. *)
+  Obs.Metrics.observe (Obs.Metrics.histogram a "h" ~buckets:[ 10; 100 ]) 42;
+  Obs.Metrics.merge ~into:a b;
+  let ja = hist_of a in
+  check_int "min survives empty-source merge" 42 Obs.Json.(int (get ja "min"));
+  check_int "max survives empty-source merge" 42 Obs.Json.(int (get ja "max"));
+  (* ... and a populated source merged into an empty destination adopts
+     the source's extrema rather than min-ing against a phantom 0. *)
+  let c = Obs.Metrics.create () in
+  ignore (Obs.Metrics.histogram c "h" ~buckets:[ 10; 100 ]);
+  Obs.Metrics.merge ~into:c a;
+  let jc = hist_of c in
+  check_int "empty-destination adopts min" 42 Obs.Json.(int (get jc "min"));
+  check_int "empty-destination adopts max" 42 Obs.Json.(int (get jc "max"));
+  (* Gauges: the source value wins, so merge order matters (which is why
+     campaign drivers merge in run-index order). *)
+  let g1 = Obs.Metrics.create () and g2 = Obs.Metrics.create () in
+  Obs.Metrics.set (Obs.Metrics.gauge g1 "g") 1;
+  Obs.Metrics.set (Obs.Metrics.gauge g2 "g") 2;
+  Obs.Metrics.merge ~into:g1 g2;
+  check_int "gauge takes the source value" 2
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge g1 "g"));
+  let g3 = Obs.Metrics.create () in
+  Obs.Metrics.set (Obs.Metrics.gauge g3 "g") 1;
+  Obs.Metrics.merge ~into:g2 g3;
+  check_int "reverse order gives the other answer" 1
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge g2 "g"));
+  (* Mismatched histogram buckets are a hard error, not a silent resample. *)
+  let m1 = Obs.Metrics.create () and m2 = Obs.Metrics.create () in
+  ignore (Obs.Metrics.histogram m1 "h" ~buckets:[ 1; 2 ]);
+  ignore (Obs.Metrics.histogram m2 "h" ~buckets:[ 1; 3 ]);
+  (try
+     Obs.Metrics.merge ~into:m1 m2;
+     Alcotest.fail "mismatched buckets accepted"
+   with Invalid_argument _ -> ());
+  (* Kind clashes across registries are rejected like same-registry ones. *)
+  let k1 = Obs.Metrics.create () and k2 = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter k1 "x");
+  ignore (Obs.Metrics.gauge k2 "x");
+  (try
+     Obs.Metrics.merge ~into:k1 k2;
+     Alcotest.fail "cross-registry kind clash accepted"
+   with Invalid_argument _ -> ());
+  (* Mismatched series widths are rejected too. *)
+  let s1 = Obs.Metrics.create () and s2 = Obs.Metrics.create () in
+  ignore (Obs.Metrics.series s1 "s" ~width:100);
+  ignore (Obs.Metrics.series s2 "s" ~width:200);
+  try
+    Obs.Metrics.merge ~into:s1 s2;
+    Alcotest.fail "mismatched series widths accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Exact quantiles *)
+
+(* Deterministic xorshift64* stream for sample generation — the test must
+   not depend on OCaml's Random (whose stream is version-dependent). *)
+let sample_stream seed =
+  let state = ref seed in
+  fun () ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.rem (Int64.logand x 0x7FFFFFFFL) 500L)
+
+let test_quantile_exact_vs_naive () =
+  let next = sample_stream 0x9E3779B97F4A7C15L in
+  (* > 5x the 512-sample pending buffer: forces several compactions. *)
+  let n = 3000 in
+  let samples = Array.init n (fun _ -> next ()) in
+  let q = Obs.Quantile.create () in
+  Array.iter (Obs.Quantile.add q) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let naive p =
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    sorted.(rank - 1)
+  in
+  List.iter
+    (fun p ->
+      match Obs.Quantile.quantile q p with
+      | Some v -> check_int (Printf.sprintf "quantile %.3f is the order statistic" p) (naive p) v
+      | None -> Alcotest.fail "non-empty digest returned None")
+    [ 0.0; 0.01; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ];
+  check_int "count" n (Obs.Quantile.count q);
+  check_int "sum" (Array.fold_left ( + ) 0 samples) (Obs.Quantile.sum q);
+  check "min" true (Obs.Quantile.min_value q = Some sorted.(0));
+  check "max" true (Obs.Quantile.max_value q = Some sorted.(n - 1));
+  (* Runs are the exact multiset: counts sum to n, values strictly
+     increasing. *)
+  let runs = Obs.Quantile.runs q in
+  check_int "runs cover every sample" n (List.fold_left (fun acc (_, c) -> acc + c) 0 runs);
+  check "runs strictly increasing" true
+    (fst (List.fold_left (fun (ok, prev) (v, _) -> (ok && v > prev, v)) (true, min_int) runs));
+  (try
+     ignore (Obs.Quantile.quantile q 1.5);
+     Alcotest.fail "q > 1 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Obs.Quantile.quantile q (-0.1));
+     Alcotest.fail "q < 0 accepted"
+   with Invalid_argument _ -> ());
+  let e = Obs.Quantile.create () in
+  check "empty digest has no quantiles" true (Obs.Quantile.quantile e 0.5 = None);
+  check "empty digest min/max are None" true
+    (Obs.Quantile.min_value e = None && Obs.Quantile.max_value e = None);
+  let je = Obs.Quantile.to_json e in
+  check "empty json p99 null" true (Obs.Json.get je "p99" = Obs.Json.Null)
+
+let test_quantile_merge_is_multiset_union () =
+  let a = Obs.Quantile.create ()
+  and b = Obs.Quantile.create ()
+  and all = Obs.Quantile.create () in
+  for i = 0 to 999 do
+    let v = i * 7919 mod 101 in
+    Obs.Quantile.add (if i mod 2 = 0 then a else b) v;
+    Obs.Quantile.add all v
+  done;
+  Obs.Quantile.merge ~into:a b;
+  check "merged runs equal the union digest's runs" true
+    (Obs.Quantile.runs a = Obs.Quantile.runs all);
+  check_int "merged count" 1000 (Obs.Quantile.count a);
+  check_int "merged sum" (Obs.Quantile.sum all) (Obs.Quantile.sum a);
+  check_int "source sample content unchanged" 500 (Obs.Quantile.count b)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed series *)
+
+let test_window_series () =
+  (try
+     ignore (Obs.Window.create ~width:0);
+     Alcotest.fail "width 0 accepted"
+   with Invalid_argument _ -> ());
+  let w = Obs.Window.create ~width:100 in
+  check_int "width" 100 (Obs.Window.width w);
+  Obs.Window.observe w ~at:0;
+  Obs.Window.observe w ~at:99;
+  Obs.Window.observe ~by:3 w ~at:250;
+  check_int "total" 5 (Obs.Window.total w);
+  check_int "peak" 3 (Obs.Window.peak w);
+  Alcotest.(check (list int)) "per-window counts" [ 2; 0; 3 ] (Array.to_list (Obs.Window.counts w));
+  (try
+     Obs.Window.observe w ~at:(-1);
+     Alcotest.fail "negative timestamp accepted"
+   with Invalid_argument _ -> ());
+  let v = Obs.Window.create ~width:100 in
+  Obs.Window.observe v ~at:120;
+  Obs.Window.merge ~into:w v;
+  Alcotest.(check (list int)) "merge adds window-wise" [ 2; 1; 3 ]
+    (Array.to_list (Obs.Window.counts w));
+  check_int "source unchanged" 1 (Obs.Window.total v);
+  let j = Obs.Window.to_json w in
+  check_int "json total" 6 Obs.Json.(int (get j "total"));
+  check_int "json peak" 3 Obs.Json.(int (get j "peak"));
+  let bad = Obs.Window.create ~width:50 in
+  try
+    Obs.Window.merge ~into:w bad;
+    Alcotest.fail "width mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let transition at instance pid from_ to_ =
+  { Trace.at; ev = Trace.Transition { instance; pid; from_; to_ } }
+
+let test_span_fold () =
+  let t = Obs.Span.create () in
+  let closes = ref [] in
+  Obs.Span.on_close t (fun sp ~next -> closes := (sp, next) :: !closes);
+  List.iter (Obs.Span.observe t)
+    [
+      transition 5 "dx" 0 Types.Thinking Types.Hungry;
+      (* entered and left Hungry within one tick: a zero-length span *)
+      transition 5 "dx" 0 Types.Hungry Types.Eating;
+      transition 20 "dx" 0 Types.Eating Types.Thinking;
+      (* diner 1 first seen mid-run: assumed Hungry since tick 0 *)
+      transition 10 "dx" 1 Types.Hungry Types.Eating;
+    ];
+  let expect =
+    [
+      { Obs.Span.instance = "dx"; pid = 0; phase = Types.Thinking; start = 0; stop = 5; closed = true };
+      { Obs.Span.instance = "dx"; pid = 0; phase = Types.Eating; start = 5; stop = 20; closed = true };
+      { Obs.Span.instance = "dx"; pid = 0; phase = Types.Thinking; start = 20; stop = 30; closed = false };
+      { Obs.Span.instance = "dx"; pid = 1; phase = Types.Hungry; start = 0; stop = 10; closed = true };
+      { Obs.Span.instance = "dx"; pid = 1; phase = Types.Eating; start = 10; stop = 30; closed = false };
+    ]
+  in
+  check "folded spans (open ones cut at the horizon)" true
+    (Obs.Span.spans t ~horizon:30 = expect);
+  check_int "every transition fired a close" 4 (List.length !closes);
+  (* The zero-length Hungry stay is dropped from the retained list but
+     still reaches the close callbacks — it is a 0-tick latency sample. *)
+  check "zero-length close observed with its next phase" true
+    (List.exists
+       (fun (sp, next) ->
+         sp.Obs.Span.phase = Types.Hungry && sp.Obs.Span.start = 5 && sp.Obs.Span.stop = 5
+         && next = Types.Eating)
+       !closes);
+  let nf = Obs.Span.create ~retain:false () in
+  Obs.Span.observe nf (transition 5 "dx" 0 Types.Thinking Types.Hungry);
+  try
+    ignore (Obs.Span.spans nf ~horizon:30);
+    Alcotest.fail "spans on a retain:false collector accepted"
+  with Invalid_argument _ -> ()
+
+let test_chrome_export_deterministic () =
+  let render () =
+    let engine = seeded_dining_run ~horizon:3000 () in
+    Obs.Json.to_string_pretty (Obs.Span.chrome_of_trace (Engine.trace engine))
+  in
+  let a = render () and b = render () in
+  check_str "same seed, byte-identical trace-event document" a b;
+  let j = Obs.Json.of_string a in
+  check_str "schema tag" Obs.Span.schema_version Obs.Json.(str (get j "schema"));
+  let events = Obs.Json.(arr (get j "traceEvents")) in
+  check "document is non-trivial" true (List.length events > 50);
+  List.iter
+    (fun e ->
+      let ph = Obs.Json.(str (get e "ph")) in
+      check "only metadata/complete/instant events" true (List.mem ph [ "M"; "X"; "i" ]))
+    events;
+  (* One complete event per span of an independent fold of the same trace. *)
+  let engine = seeded_dining_run ~horizon:3000 () in
+  let collector = Obs.Span.create () in
+  Obs.Span.attach collector (Engine.trace engine);
+  let n_spans = List.length (Obs.Span.spans collector ~horizon:3001) in
+  let n_x =
+    List.length (List.filter (fun e -> Obs.Json.(str (get e "ph")) = "X") events)
+  in
+  check_int "one X event per span" n_spans n_x
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-coverage signatures *)
+
+let signature_of_run seed =
+  let engine = seeded_dining_run ~seed () in
+  let c = Obs.Coverage.create () in
+  Obs.Coverage.attach c (Engine.trace engine);
+  Obs.Coverage.snapshot c
+
+let test_coverage_signatures () =
+  List.iter
+    (fun w ->
+      match Obs.Coverage.empty ~width:w () with
+      | _ -> Alcotest.failf "width %d accepted" w
+      | exception Invalid_argument _ -> ())
+    [ 0; -8; 7; 12 ];
+  let e = Obs.Coverage.empty () in
+  check_int "default width" Obs.Coverage.default_width (Obs.Coverage.width e);
+  check_int "empty signature has no edges" 0 (Obs.Coverage.edges e);
+  let a = signature_of_run 41L in
+  let a' = signature_of_run 41L in
+  let b = signature_of_run 42L in
+  check "same seed, equal signature" true (Obs.Coverage.equal a a');
+  check_str "same seed, same hex" (Obs.Coverage.to_hex a) (Obs.Coverage.to_hex a');
+  check_str "same seed, same digest" (Obs.Coverage.digest a) (Obs.Coverage.digest a');
+  check "signature is non-trivial" true (Obs.Coverage.edges a > 0);
+  check "different seed, different signature" false (Obs.Coverage.equal a b);
+  check "hex round-trips" true (Obs.Coverage.equal a (Obs.Coverage.of_hex (Obs.Coverage.to_hex a)));
+  List.iter
+    (fun s ->
+      match Obs.Coverage.of_hex s with
+      | _ -> Alcotest.failf "of_hex accepted %S" s
+      | exception Invalid_argument _ -> ())
+    [ ""; "abc"; "zz" ];
+  let u = Obs.Coverage.union a b in
+  check "union is commutative" true (Obs.Coverage.equal u (Obs.Coverage.union b a));
+  check "union covers both sides" true
+    (Obs.Coverage.new_edges ~seen:u a = 0 && Obs.Coverage.new_edges ~seen:u b = 0);
+  check_int "a adds nothing over itself" 0 (Obs.Coverage.new_edges ~seen:a a);
+  check "the other seed contributes fresh edges" true (Obs.Coverage.new_edges ~seen:a b > 0);
+  check_int "union popcount = base + marginal"
+    (Obs.Coverage.edges a + Obs.Coverage.new_edges ~seen:a b)
+    (Obs.Coverage.edges u);
+  (try
+     ignore (Obs.Coverage.union a (Obs.Coverage.empty ~width:64 ()));
+     Alcotest.fail "width mismatch accepted"
+   with Invalid_argument _ -> ());
+  let j = Obs.Coverage.to_json a in
+  check_int "json width" (Obs.Coverage.width a) Obs.Json.(int (get j "width"));
+  check_int "json edges" (Obs.Coverage.edges a) Obs.Json.(int (get j "edges"));
+  check_str "json digest" (Obs.Coverage.digest a) Obs.Json.(str (get j "digest"));
+  check_str "json bitmap" (Obs.Coverage.to_hex a) Obs.Json.(str (get j "bitmap"))
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented run: histogram / exact-digest / series agreement *)
+
+let test_exact_quantiles_track_histogram () =
+  let m = Obs.Metrics.create () in
+  let graph = Graphs.Conflict_graph.ring ~n:5 in
+  let engine =
+    Engine.create ~seed:23L ~n:5 ~adversary:(Adversary.partial_sync ~gst:400 ()) ()
+  in
+  let inst = Obs.Instrument.install ~metrics:m engine in
+  let suspects = Core.Scenario.evp_suspects engine ~n:5 ~windows:[] in
+  for pid = 0 to 4 do
+    let ctx = Engine.ctx engine pid in
+    let comp, handle, _ =
+      Dining.Wf_ewx.component ctx ~instance:"dx" ~graph ~suspects:(suspects pid) ()
+    in
+    Engine.register engine pid comp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ())
+  done;
+  Engine.schedule_crash engine 4 ~at:1500;
+  Engine.run engine ~until:4000;
+  Obs.Instrument.finalize inst;
+  let j = Obs.Metrics.to_json m in
+  (* The bucketed histogram and the exact digest watch the same span-close
+     stream, so they must agree on every shared statistic. *)
+  let hist = Obs.Json.(get (get j "histograms") "dining.dx.hunger_latency") in
+  let exact = Obs.Json.(get (get j "quantiles") "dining.dx.hunger_latency_exact") in
+  check "hunger sessions observed" true Obs.Json.(int (get exact "count") > 0);
+  List.iter
+    (fun field ->
+      check_int ("histogram and digest agree on " ^ field)
+        Obs.Json.(int (get hist field))
+        Obs.Json.(int (get exact field)))
+    [ "count"; "sum"; "min"; "max" ];
+  (* The exact p99 is a real sample: within the digest's [min, max]. *)
+  let p99 = Obs.Json.(int (get exact "p99")) in
+  check "p99 within extrema" true
+    (p99 >= Obs.Json.(int (get exact "min")) && p99 <= Obs.Json.(int (get exact "max")));
+  (* The meals series counts exactly the Eating transitions the meals
+     counter counts, windowed by the documented width. *)
+  let series = Obs.Json.(get (get j "series") "dining.dx.meals_per_window") in
+  check_int "series width is the documented constant" Obs.Instrument.meals_window_width
+    Obs.Json.(int (get series "width"));
+  check_int "series total = meals counter"
+    Obs.Json.(int (get (get j "counters") "dining.dx.meals"))
+    Obs.Json.(int (get series "total"));
+  check "series peak positive" true Obs.Json.(int (get series "peak") > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Reports *)
 
@@ -339,6 +687,28 @@ let () =
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
           Alcotest.test_case "determinism on seeded run" `Quick test_metrics_determinism;
+          Alcotest.test_case "merge edge cases" `Quick test_metrics_merge_edge_cases;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "exact vs naive across compactions" `Quick
+            test_quantile_exact_vs_naive;
+          Alcotest.test_case "merge is multiset union" `Quick
+            test_quantile_merge_is_multiset_union;
+        ] );
+      ( "window", [ Alcotest.test_case "series semantics" `Quick test_window_series ] );
+      ( "span",
+        [
+          Alcotest.test_case "fold of a synthetic stream" `Quick test_span_fold;
+          Alcotest.test_case "chrome export deterministic" `Quick
+            test_chrome_export_deterministic;
+        ] );
+      ( "coverage",
+        [ Alcotest.test_case "signature semantics on seeded runs" `Quick test_coverage_signatures ] );
+      ( "instrument",
+        [
+          Alcotest.test_case "exact digest and series track the run" `Quick
+            test_exact_quantiles_track_histogram;
         ] );
       ( "report",
         [

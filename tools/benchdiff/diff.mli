@@ -1,0 +1,52 @@
+(** Perf-regression gate over ["dinersim-bench/1"] snapshots.
+
+    Judges a candidate benchmark snapshot against a baseline on the
+    per-experiment median-wall-time {e ratio}: experiment [k] regresses
+    when [cand/base > threshold] and the baseline median is at least
+    [min_base_s] (sub-floor baselines are timer noise and never gate).
+    Baseline experiments missing from the candidate fail the gate;
+    candidate-only experiments are reported but not gated. The
+    comparison is deterministic in the two input documents. *)
+
+type entry = {
+  key : string;
+  base_s : float;
+  cand_s : float;
+  ratio : float;  (** [cand_s /. base_s]; [infinity] when [base_s = 0]. *)
+  skipped : bool;  (** Baseline under the noise floor: never gates. *)
+  regressed : bool;
+}
+
+type t = {
+  threshold : float;
+  min_base_s : float;
+  entries : entry list;  (** Baseline document order. *)
+  missing : string list;  (** Baseline keys absent from the candidate. *)
+  extra : string list;  (** Candidate keys absent from the baseline. *)
+}
+
+val schema_version : string
+(** ["benchdiff/1"], the tag of {!to_json}. *)
+
+val of_json :
+  threshold:float -> min_base_s:float -> baseline:Obs.Json.t -> candidate:Obs.Json.t -> t
+(** Raises [Invalid_argument] when [threshold <= 1.0] or [min_base_s < 0];
+    [Failure] on documents that are not well-formed dinersim-bench/1. *)
+
+val of_files : threshold:float -> min_base_s:float -> baseline:string -> candidate:string -> t
+(** Like {!of_json} from file paths. Additionally raises [Sys_error] on
+    IO failure and [Failure] on unparseable JSON. *)
+
+val regressions : t -> string list
+(** Keys of the regressed entries, baseline order. *)
+
+val ok : t -> bool
+(** No regressed entry and no missing experiment. *)
+
+val to_json : t -> Obs.Json.t
+(** [{"schema":"benchdiff/1","threshold":..,"min_base_s":..,"ok":..,
+    "regressions":[..],"missing":[..],"extra":[..],"entries":[{"key",
+    "base_s","cand_s","ratio","status"}]}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human rendering: one line per experiment plus the gate verdict. *)
