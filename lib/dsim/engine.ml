@@ -14,6 +14,9 @@ type proc = {
   mutable cursor : int; (* weak-fairness rotation over flat_actions *)
   inbox : packet Vec.t;
   mutable last_step : Types.time;
+  mutable batch : packet array;
+      (* step_process drain scratch, grown geometrically and reused across
+         steps; only the first [Vec.length inbox] slots are meaningful *)
 }
 
 and t = {
@@ -29,6 +32,9 @@ and t = {
   hooks : (unit -> unit) Vec.t; (* registration order *)
   mutable sent_total : int;
   sent_by_tag : (string, int) Hashtbl.t;
+  order : int array;
+      (* per-tick scheduling order scratch: rebuilt to the identity and
+         shuffled in place each tick, so [step] allocates no order array *)
 }
 
 let create ?(seed = 0xC0FFEEL) ?(retain_trace = true) ~n ~adversary () =
@@ -44,6 +50,7 @@ let create ?(seed = 0xC0FFEEL) ?(retain_trace = true) ~n ~adversary () =
           cursor = 0;
           inbox = Vec.create ();
           last_step = 0;
+          batch = [||];
         })
   in
   {
@@ -58,6 +65,7 @@ let create ?(seed = 0xC0FFEEL) ?(retain_trace = true) ~n ~adversary () =
     hooks = Vec.create ();
     sent_total = 0;
     sent_by_tag = Hashtbl.create 32;
+    order = Array.make n 0;
   }
 
 let n t = t.n_procs
@@ -131,6 +139,7 @@ let do_crash t (p : proc) =
   if p.alive then begin
     p.alive <- false;
     Vec.clear p.inbox;
+    (* simlint: allow D011 — allocates only on the once-per-process crash transition *)
     Trace.append t.tr ~at:t.clock (Trace.Crash { pid = p.pid })
   end
 
@@ -172,39 +181,48 @@ let sent_by_tag t =
    quadratic in hook count. *)
 let on_tick t f = Vec.add_last t.hooks f
 
-let deliver_bucket t pkts =
-  (* Buckets were built by consing; restore send order within the tick
-     (order is irrelevant for correctness — channels are non-FIFO — but
-     determinism must not depend on map internals). *)
-  List.iter
-    (fun pkt ->
+(* Buckets were built by consing; restore send order within the tick
+   (order is irrelevant for correctness — channels are non-FIFO — but
+   determinism must not depend on map internals). Recursing to the tail
+   first delivers oldest-first without materialising the [List.rev] copy
+   the hot path used to pay per bucket; depth is bounded by the bucket
+   size, a few packets per tick. *)
+let rec deliver_bucket t = function
+  | [] -> ()
+  | pkt :: rest ->
+      deliver_bucket t rest;
       t.flight_count <- t.flight_count - 1;
       let p = t.procs.(pkt.dst) in
-      if p.alive then Vec.add_last p.inbox pkt)
-    (List.rev pkts)
+      if p.alive then Vec.add_last p.inbox pkt
 
 (* Peel ripe buckets off the cheap end of the map. [partition] walks the
    whole in-flight map — cost proportional to the number of distinct future
    delivery times — every tick; [min_binding] visits exactly the ripe
    buckets (usually zero or one) plus one O(log n) probe, and yields them in
-   the same ascending-time order partition did. *)
-let deliver_ripe t =
-  let rec peel () =
-    match Types.Pidmap.min_binding_opt t.in_flight with
-    | Some (at, pkts) when at <= t.clock ->
-        t.in_flight <- Types.Pidmap.remove at t.in_flight;
-        deliver_bucket t pkts;
-        peel ()
-    | Some _ | None -> ()
-  in
-  peel ()
+   the same ascending-time order partition did. Top-level recursion rather
+   than a local [let rec peel]: a local recursive function is a cyclic
+   closure rebuilt on every call of its host. *)
+(* simlint: hotpath *)
+let rec deliver_ripe t =
+  match Types.Pidmap.min_binding_opt t.in_flight with
+  | Some (at, pkts) when at <= t.clock ->
+      t.in_flight <- Types.Pidmap.remove at t.in_flight;
+      deliver_bucket t pkts;
+      deliver_ripe t
+  | Some _ | None -> ()
 
-let route_receive (p : proc) pkt =
-  match
-    List.find_opt (fun (c : Component.t) -> String.equal c.cname pkt.tag) p.components
-  with
-  | Some c -> c.on_receive ~src:pkt.src pkt.payload
-  | None -> () (* message for an unregistered layer: dropped *)
+(* First registered component whose name matches the tag handles the
+   packet; a message for an unregistered layer is dropped. Open-coded
+   (rather than [List.find_opt]) so the per-packet dispatch neither builds
+   a predicate closure nor boxes the result in an option. *)
+let rec route_to_component ~src payload tag (comps : Component.t list) =
+  match comps with
+  | [] -> ()
+  | c :: rest ->
+      if String.equal c.Component.cname tag then c.Component.on_receive ~src payload
+      else route_to_component ~src payload tag rest
+
+let route_receive (p : proc) pkt = route_to_component ~src:pkt.src pkt.payload pkt.tag p.components
 
 (* One atomic step of process [p]: consume the pending messages (the paper's
    atomic step receives at most one message from *each* process, so draining
@@ -214,59 +232,77 @@ let route_receive (p : proc) pkt =
    stretching every delivery), then execute at most one enabled guarded
    action, scanning from the rotating cursor so that a continuously enabled
    action runs within one full rotation (weak fairness). *)
+(* Weak-fairness scan from the rotating cursor: run the first enabled
+   action, advancing the cursor past it. Hoisted to top level so the hot
+   step builds no [scan] closure (a local [let rec] capturing its
+   environment is reallocated per process step). *)
+let rec scan_action (p : proc) acts m k =
+  if k < m then begin
+    let idx = (p.cursor + k) mod m in
+    let _, a = acts.(idx) in
+    if a.Component.guard () then begin
+      p.cursor <- (idx + 1) mod m;
+      a.Component.body ()
+    end
+    else scan_action p acts m (k + 1)
+  end
+
+(* simlint: hotpath *)
 let step_process t (p : proc) =
   p.last_step <- t.clock;
   let pending = Vec.length p.inbox in
   if pending > 0 then begin
     (* Non-FIFO: consume in a randomly shuffled order. Only the packets
-       present at the start of the step are delivered in it. *)
-    let batch = Array.init pending (Vec.get p.inbox) in
+       present at the start of the step are delivered in it. The batch
+       lives in per-process scratch reused across steps; [shuffle_prefix]
+       draws exactly what [shuffle] on a fresh [pending]-sized array drew,
+       so replay digests are unchanged. *)
+    if Array.length p.batch < pending then
+      (* simlint: allow D011 — amortised geometric scratch growth, not a per-step cost *)
+      p.batch <- Array.make (max 8 (2 * pending)) (Vec.get p.inbox 0);
+    for i = 0 to pending - 1 do
+      p.batch.(i) <- Vec.get p.inbox i
+    done;
     Vec.clear p.inbox;
-    Prng.shuffle t.prng batch;
-    Array.iter (fun pkt -> if p.alive then route_receive p pkt) batch
+    Prng.shuffle_prefix t.prng p.batch ~len:pending;
+    for i = 0 to pending - 1 do
+      if p.alive then route_receive p p.batch.(i)
+    done
   end;
   if p.alive then begin
     let acts = p.flat_actions in
     let m = Array.length acts in
-    if m > 0 then begin
-      let rec scan k =
-        if k < m then begin
-          let idx = (p.cursor + k) mod m in
-          let _, a = acts.(idx) in
-          if a.Component.guard () then begin
-            p.cursor <- (idx + 1) mod m;
-            a.Component.body ()
-          end
-          else scan (k + 1)
-        end
-      in
-      scan 0
-    end
+    if m > 0 then scan_action p acts m 0
   end
 
+(* simlint: hotpath *)
 let step t =
   t.clock <- t.clock + 1;
-  Array.iter
-    (fun p ->
-      match p.crash_at with
-      | Some at when at <= t.clock -> do_crash t p
-      | Some _ | None -> ())
-    t.procs;
+  for i = 0 to t.n_procs - 1 do
+    let p = t.procs.(i) in
+    match p.crash_at with
+    | Some at when at <= t.clock -> do_crash t p
+    | Some _ | None -> ()
+  done;
   deliver_ripe t;
   (* Steps within a tick run in adversary-shuffled order: a fixed pid order
      would systematically favour low pids in same-tick interactions, which
-     asynchrony does not promise anyone. *)
-  let order = Array.init t.n_procs Fun.id in
+     asynchrony does not promise anyone. The identity order is rebuilt in
+     place in per-engine scratch each tick — same draws, same permutation
+     as shuffling a fresh [Array.init n Fun.id], without the allocation. *)
+  let order = t.order in
+  for i = 0 to t.n_procs - 1 do
+    order.(i) <- i
+  done;
   Prng.shuffle t.prng order;
-  Array.iter
-    (fun pid ->
-      let p = t.procs.(pid) in
-      if p.alive then begin
-        let offered = t.adversary.Adversary.steps t.prng ~now:t.clock p.pid in
-        let forced = t.clock - p.last_step >= t.adversary.Adversary.fairness_bound in
-        if offered || forced then step_process t p
-      end)
-    order;
+  for i = 0 to t.n_procs - 1 do
+    let p = t.procs.(order.(i)) in
+    if p.alive then begin
+      let offered = t.adversary.Adversary.steps t.prng ~now:t.clock p.pid in
+      let forced = t.clock - p.last_step >= t.adversary.Adversary.fairness_bound in
+      if offered || forced then step_process t p
+    end
+  done;
   Vec.iter (fun f -> f ()) t.hooks
 
 let run t ~until =

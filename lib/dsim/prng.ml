@@ -50,10 +50,17 @@ let pick t a =
   if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
   a.(int t ~bound:(Array.length a))
 
-let shuffle t a =
-  for i = Array.length a - 1 downto 1 do
+(* Fisher-Yates over a.(0 .. len-1), leaving the tail untouched. The draw
+   sequence for a given [len] is identical to [shuffle] on an array of
+   exactly that length, so hot paths can reuse an oversized scratch buffer
+   without perturbing replay. *)
+let shuffle_prefix t a ~len =
+  if len < 0 || len > Array.length a then invalid_arg "Prng.shuffle_prefix: bad len";
+  for i = len - 1 downto 1 do
     let j = int t ~bound:(i + 1) in
     let tmp = a.(i) in
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+let shuffle t a = shuffle_prefix t a ~len:(Array.length a)

@@ -46,3 +46,9 @@ val pick : t -> 'a array -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val shuffle_prefix : t -> 'a array -> len:int -> unit
+(** In-place Fisher-Yates shuffle of the first [len] elements, leaving the
+    tail untouched. Draws exactly the sequence [shuffle] would on an array
+    of length [len], so replay is unchanged when a hot path swaps a fresh
+    array for an oversized reusable scratch buffer. *)

@@ -87,6 +87,37 @@ let test_missing_and_extra_experiments () =
   let d' = diff [ ("a", f 1.0) ] [ ("a", f 1.0); ("c", f 9.0) ] in
   check "extra alone passes" true (Benchdiff.Diff.ok d')
 
+let test_one_sided_entries_explicit () =
+  (* Experiments present in only one snapshot are entries in their own
+     right, not just side-channel key lists: the record, the JSON report
+     and the human rendering all name them with an explicit status. *)
+  let d = diff [ ("a", f 1.0); ("b", f 1.0) ] [ ("a", f 1.0); ("c", f 2.0) ] in
+  Alcotest.(check int) "every key of either document has an entry" 3
+    (List.length d.Benchdiff.Diff.entries);
+  check "baseline-only entry is Removed" true
+    ((entry d "b").Benchdiff.Diff.presence = Benchdiff.Diff.Removed);
+  check "candidate-only entry is Added" true
+    ((entry d "c").Benchdiff.Diff.presence = Benchdiff.Diff.Added);
+  check "one-sided entries never count as regressions" false
+    ((entry d "b").Benchdiff.Diff.regressed || (entry d "c").Benchdiff.Diff.regressed);
+  let statuses =
+    List.map
+      (fun ej -> (Obs.Json.str (Obs.Json.get ej "key"), Obs.Json.str (Obs.Json.get ej "status")))
+      (Obs.Json.arr (Obs.Json.get (Benchdiff.Diff.to_json d) "entries"))
+  in
+  Alcotest.(check (list (pair string string)))
+    "json entries carry explicit statuses"
+    [ ("a", "ok"); ("b", "removed"); ("c", "added") ]
+    statuses;
+  let rendered = Format.asprintf "%a" Benchdiff.Diff.pp d in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "pp names the removed experiment" true (contains "REMOVED from candidate" rendered);
+  check "pp names the added experiment" true (contains "added (not gated)" rendered)
+
 let test_int_wall_s_accepted () =
   (* Hand-edited snapshots may carry integer seconds; the codec keeps
      1 distinct from 1.0, so the diff must accept both. *)
@@ -157,6 +188,8 @@ let () =
             test_zero_baseline_ratio_is_infinite;
           Alcotest.test_case "missing and extra experiments" `Quick
             test_missing_and_extra_experiments;
+          Alcotest.test_case "one-sided experiments are explicit entries" `Quick
+            test_one_sided_entries_explicit;
           Alcotest.test_case "integer medians accepted" `Quick test_int_wall_s_accepted;
         ] );
       ( "io",

@@ -184,6 +184,52 @@ let test_pool_exception_lowest_index () =
         (Exec.Pool.map ~jobs:4 10 (fun i ->
              if i mod 3 = 1 then failwith (Printf.sprintf "boom%d" i) else i)))
 
+let test_pool_concurrent_raises () =
+  (* Two domains raise concurrently; the higher index almost certainly
+     fails first in wall time, yet after the joins the caller
+     deterministically sees the lowest failing index's exception. *)
+  Alcotest.check_raises "lowest index wins the race" (Failure "low") (fun () ->
+      ignore
+        (Exec.Pool.map ~jobs:3 6 (fun i ->
+             if i = 5 then failwith "high"
+             else if i = 2 then begin
+               for _ = 1 to 10_000 do
+                 Domain.cpu_relax ()
+               done;
+               failwith "low"
+             end
+             else i)))
+
+let test_pool_jobs_clamped () =
+  (* jobs far above n is clamped to n: no spare domains exist, so at most
+     n tasks are ever in flight, and results match any other worker
+     count. The peak is tracked with fetch_and_add + compare_and_set —
+     the composed-get/set idiom the pool contract (and D012) forbids. *)
+  let active = Atomic.make 0 and peak = Atomic.make 0 in
+  let bump () =
+    let now = Atomic.fetch_and_add active 1 + 1 in
+    let rec raise_peak () =
+      let seen = Atomic.get peak in
+      if now > seen && not (Atomic.compare_and_set peak seen now) then raise_peak ()
+    in
+    raise_peak ()
+  in
+  let r =
+    Exec.Pool.map ~jobs:64 3 (fun i ->
+        bump ();
+        for _ = 1 to 1_000 do
+          Domain.cpu_relax ()
+        done;
+        Atomic.decr active;
+        i * 10)
+  in
+  Alcotest.(check (list int)) "results index-ordered" [ 0; 10; 20 ] (Array.to_list r);
+  Alcotest.(check bool) "in-flight tasks never exceed n" true (Atomic.get peak <= 3);
+  Alcotest.(check int) "n = 1 under huge jobs" 1 (Array.length (Exec.Pool.map ~jobs:64 1 Fun.id));
+  (* The exception contract holds in the clamped regime too. *)
+  Alcotest.check_raises "lowest index re-raised when jobs > n" (Failure "boom0") (fun () ->
+      ignore (Exec.Pool.map ~jobs:32 2 (fun i -> failwith (Printf.sprintf "boom%d" i))))
+
 let test_campaign_jobs_invariance () =
   (* The acceptance property of the parallel campaign: the summary's
      canonical body — verdicts, entries, shrunk digests, merged metrics —
@@ -370,6 +416,9 @@ let () =
           Alcotest.test_case "map is index-ordered and validates" `Quick test_pool_map;
           Alcotest.test_case "lowest-index exception propagates" `Quick
             test_pool_exception_lowest_index;
+          Alcotest.test_case "concurrent raises resolve to lowest index" `Quick
+            test_pool_concurrent_raises;
+          Alcotest.test_case "jobs above n are clamped" `Quick test_pool_jobs_clamped;
           Alcotest.test_case "campaign canonical output is jobs-invariant" `Slow
             test_campaign_jobs_invariance;
         ] );

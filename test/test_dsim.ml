@@ -556,6 +556,53 @@ let test_graph_distance () =
   let ring = G.ring ~n:6 in
   Alcotest.(check (option int)) "ring shortcut" (Some 2) (G.distance ring 0 4)
 
+(* ------------------------------------------------------------------ *)
+(* Engine trace digest pin.
+
+   A chatty two-process exchange with a mid-run crash, digested over the
+   CSV trace rendering. The pin is the behavioural contract the hot-path
+   allocation work (simlint D011) must preserve: removing per-tick
+   allocations from [Engine.step]/[step_process] may not change a single
+   PRNG draw, delivery order, or trace byte. *)
+
+let test_engine_trace_digest_pinned () =
+  let run () =
+    let engine = Engine.create ~seed:0xD161757L ~n:3 ~adversary:(Adversary.async_uniform ()) () in
+    let ctxs = Array.init 3 (Engine.ctx engine) in
+    for pid = 0 to 2 do
+      let sent = ref 0 in
+      let comp =
+        Component.make ~name:"app"
+          ~actions:
+            [
+              Component.action "gossip"
+                ~guard:(fun () -> !sent < 20)
+                ~body:(fun () ->
+                  incr sent;
+                  let dst = (pid + 1) mod 3 in
+                  ctxs.(pid).Context.send ~dst ~tag:"app" (Ping !sent);
+                  ctxs.(pid).Context.log
+                    (Trace.Note { pid; label = "sent"; info = string_of_int !sent }))
+            ]
+          ~on_receive:(fun ~src -> function
+            | Ping k ->
+                ctxs.(pid).Context.log
+                  (Trace.Note { pid; label = "got"; info = Printf.sprintf "%d<-%d" k src })
+            | _ -> ())
+          ()
+      in
+      Engine.register engine pid comp
+    done;
+    Engine.schedule_crash engine 1 ~at:40;
+    Engine.run engine ~until:200;
+    Trace.to_csv (Engine.trace engine)
+  in
+  let a = run () in
+  check "replay is bit-identical" true (a = run ());
+  Alcotest.(check string)
+    "pinned engine trace digest for seed 0xD161757" "6ea50c1608b4b92d51ff0745860a5b84"
+    (Digest.to_hex (Digest.string a))
+
 let test_graph_random_valid () =
   let module G = Graphs.Conflict_graph in
   let rng = Prng.create 13L in
@@ -605,6 +652,8 @@ let () =
           Alcotest.test_case "send counters" `Quick test_engine_send_counters;
           Alcotest.test_case "inbox drains under load" `Quick
             test_engine_inbox_drains_under_load;
+          Alcotest.test_case "pinned trace digest (hot-path contract)" `Quick
+            test_engine_trace_digest_pinned;
         ] );
       ( "trace",
         [

@@ -46,7 +46,10 @@ let test_every_rule_fires () =
   let rules = List.sort_uniq compare (List.map (fun (r, _, _) -> r) (opens result)) in
   List.iter
     (fun rule -> check (rule ^ " fires on the corpus") true (List.mem rule rules))
-    [ "D001"; "D002"; "D003"; "D004"; "D005"; "D006"; "D007"; "D008"; "D009"; "D010" ];
+    [
+      "D001"; "D002"; "D003"; "D004"; "D005"; "D006"; "D007"; "D008"; "D009"; "D010"; "D011";
+      "D012"; "D013";
+    ];
   check "no parse failures in fixtures" false (List.mem "E000" rules)
 
 let test_corpus_fails_gate () =
@@ -187,7 +190,7 @@ let test_d009_suppressed_site () =
        result.Driver.findings)
 
 let test_d010_baseline () =
-  let baseline = [ { Baseline.file = "fixtures/taint_c.ml"; rule = "D010"; line = 5 } ] in
+  let baseline = [ { Baseline.file = "fixtures/taint_c.ml"; rule = "D010"; line = 5; sym = None } ] in
   let result = run_fixtures ~baseline () in
   check "baselined D010 no longer open" true
     (List.exists
@@ -195,6 +198,103 @@ let test_d010_baseline () =
          s = Finding.Baselined && triple f = ("D010", "fixtures/taint_c.ml", 5))
        result.Driver.findings);
   Alcotest.(check int) "no stale entries" 0 (List.length result.Driver.stale_baseline)
+
+(* ------------------------------------------------------------------ *)
+(* D011-D013: hot-path allocation, domain escape, quadratic accumulation. *)
+
+let disposition result (rule, file, line) =
+  List.find_map
+    (fun ((f : Finding.t), s) -> if triple f = (rule, file, line) then Some (f, s) else None)
+    result.Driver.findings
+
+let test_d011_hotpath_chain () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "allocation reached from the annotated root flagged; cold path clean"
+    [ ("D011", "fixtures/d011_hotpath.ml", 6) ]
+    (List.filter (fun (r, _, _) -> r = "D011") (opens result));
+  let f, _ = Option.get (disposition result ("D011", "fixtures/d011_hotpath.ml", 6)) in
+  check "message carries the hot caller chain" true
+    (contains ~needle:"chain D011_hotpath.hot_tick -> D011_hotpath.build_pair" f.Finding.msg);
+  check "finding is sym-keyed on the chain endpoints" true
+    (f.Finding.sym = Some "D011_hotpath.hot_tick->D011_hotpath.build_pair:tuple");
+  check "justified amortised growth suppressed, not open" true
+    (match disposition result ("D011", "fixtures/d011_hotpath.ml", 10) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_d012_escapes () =
+  let result = run_fixtures () in
+  Alcotest.(check (list int))
+    "captured ref, mutated array and atomic RMW flagged; read-only capture clean" [ 8; 13; 26 ]
+    (List.sort compare (rule_lines "D012" (in_file "d012_escape.ml" result)));
+  let f, _ = Option.get (disposition result ("D012", "fixtures/d012_escape.ml", 8)) in
+  check "escape message names the captured cell" true
+    (contains ~needle:"captures mutable `total` (ref)" f.Finding.msg);
+  let rmw, _ = Option.get (disposition result ("D012", "fixtures/d012_escape.ml", 26)) in
+  check "rmw message points at the composed get/set" true
+    (contains ~needle:"read-modify-write on Atomic `c`" rmw.Finding.msg);
+  check "tolerated race suppressed, not open" true
+    (match disposition result ("D012", "fixtures/d012_escape.ml", 23) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_d013_quadratic () =
+  let result = run_fixtures () in
+  Alcotest.(check (list int))
+    "@ and ^ accumulators in self-calls flagged; consing and sibling merges clean" [ 5; 7 ]
+    (List.sort compare (rule_lines "D013" (in_file "d013_quadratic.ml" result)));
+  check "justified tiny-n accumulator suppressed, not open" true
+    (match disposition result ("D013", "fixtures/d013_quadratic.ml", 16) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_catalog_coverage () =
+  (* Every catalogued rule has both a firing and a suppressed fixture, so the
+     corpus pins each rule's detection AND its suppression path. E000 is the
+     parse-failure rule: the corpus deliberately contains no broken file (a
+     parse failure would silently shrink every other analysis). *)
+  let result = run_fixtures () in
+  let open_rules = List.map (fun (r, _, _) -> r) (opens result) in
+  let suppressed_rules =
+    List.filter_map
+      (fun ((f : Finding.t), s) ->
+        if s = Finding.Suppressed then Some f.Finding.rule else None)
+      result.Driver.findings
+  in
+  List.iter
+    (fun (rule, _) ->
+      if rule <> "E000" then begin
+        check (rule ^ " has a firing fixture") true (List.mem rule open_rules);
+        check (rule ^ " has a suppressed fixture") true (List.mem rule suppressed_rules)
+      end)
+    Rules.catalog
+
+let test_sym_keyed_baseline () =
+  (* Interprocedural entries key on file + rule + chain endpoints: the
+     recorded line is informational, so the entry survives line drift in any
+     file along the chain... *)
+  let entry =
+    {
+      Baseline.file = "fixtures/d011_hotpath.ml";
+      rule = "D011";
+      line = 999;
+      sym = Some "D011_hotpath.hot_tick->D011_hotpath.build_pair:tuple";
+    }
+  in
+  let result = run_fixtures ~baseline:[ entry ] () in
+  check "sym entry matches despite line drift" true
+    (List.exists
+       (fun ((f : Finding.t), s) ->
+         s = Finding.Baselined && triple f = ("D011", "fixtures/d011_hotpath.ml", 6))
+       result.Driver.findings);
+  Alcotest.(check int) "no stale entries" 0 (List.length result.Driver.stale_baseline);
+  (* ... while a sym mismatch does not match even at the right line. *)
+  let wrong = { entry with Baseline.line = 6; sym = Some "Other.root->Other.leaf:tuple" } in
+  let result = run_fixtures ~baseline:[ wrong ] () in
+  check "wrong sym stays open" true
+    (List.mem ("D011", "fixtures/d011_hotpath.ml", 6) (opens result));
+  Alcotest.(check int) "wrong sym is stale" 1 (List.length result.Driver.stale_baseline)
 
 (* ------------------------------------------------------------------ *)
 (* Gate semantics and baseline regeneration. *)
@@ -210,7 +310,7 @@ let test_gate_and_baseline_regeneration () =
   Alcotest.(check int) "nothing open" 0 (List.length (Driver.open_findings grandfathered));
   (* ... and a stale entry alone fails it again. *)
   let stale =
-    { Baseline.file = "fixtures/gone.ml"; rule = "D001"; line = 1 } :: regenerated
+    { Baseline.file = "fixtures/gone.ml"; rule = "D001"; line = 1; sym = None } :: regenerated
   in
   let with_stale = run_fixtures ~baseline:stale () in
   check "stale baseline entry fails the gate" false (Driver.gate_ok with_stale);
@@ -232,6 +332,18 @@ let test_baseline_write_deterministic () =
   Alcotest.(check string) "two writes are byte-identical" (slurp p1) (slurp p2);
   let reloaded = Baseline.load p1 in
   check "write/load round-trips the entries" true (reloaded = entries);
+  (* The regenerated (--baseline-update) entries for the interprocedural
+     rules are sym-keyed, never bare line keys. *)
+  let interprocedural =
+    List.filter
+      (fun (e : Baseline.entry) ->
+        List.mem e.Baseline.rule [ "D009"; "D010"; "D011"; "D012"; "D013" ])
+      entries
+  in
+  check "interprocedural rules present in the regenerated baseline" true
+    (List.exists (fun (e : Baseline.entry) -> e.Baseline.rule = "D011") interprocedural);
+  check "interprocedural entries are sym-keyed" true
+    (List.for_all (fun (e : Baseline.entry) -> e.Baseline.sym <> None) interprocedural);
   Sys.remove p1;
   Sys.remove p2
 
@@ -273,6 +385,20 @@ let test_sarif_shape () =
     "suppressed+baselined findings carry a suppressions array"
     (List.length result.Driver.findings - List.length (Driver.open_findings result))
     suppressed_count;
+  let with_sym =
+    List.length
+      (List.filter (fun ((f : Finding.t), _) -> f.Finding.sym <> None) result.Driver.findings)
+  in
+  Alcotest.(check int)
+    "interprocedural results carry a simlintSym fingerprint" with_sym
+    (List.length
+       (List.filter
+          (fun r ->
+            match find r "partialFingerprints" with
+            | Some fp -> find fp "simlintSym/v1" <> None
+            | None -> false)
+          results));
+  check "sym-carrying results exist" true (with_sym > 0);
   let driver = get (get run "tool") "driver" in
   Alcotest.(check int) "rule catalog shipped" (List.length Rules.catalog)
     (List.length (arr (get driver "rules")))
@@ -310,8 +436,8 @@ let test_clean_fixture () =
 let test_baseline_grandfathers () =
   let baseline =
     [
-      { Baseline.file = "fixtures/d003_hashtbl_order.ml"; rule = "D003"; line = 7 };
-      { Baseline.file = "fixtures/gone.ml"; rule = "D001"; line = 1 };
+      { Baseline.file = "fixtures/d003_hashtbl_order.ml"; rule = "D003"; line = 7; sym = None };
+      { Baseline.file = "fixtures/gone.ml"; rule = "D001"; line = 1; sym = None };
     ]
   in
   let plain = run_fixtures () in
@@ -372,6 +498,15 @@ let () =
           Alcotest.test_case "D010 baseline hit" `Quick test_d010_baseline;
           Alcotest.test_case "D009 shared state under parallel dispatch" `Quick test_d009_sites;
           Alcotest.test_case "D009 site suppression" `Quick test_d009_suppressed_site;
+        ] );
+      ( "hotpath",
+        [
+          Alcotest.test_case "D011 hot-path allocation chain" `Quick test_d011_hotpath_chain;
+          Alcotest.test_case "D012 domain escapes and RMW" `Quick test_d012_escapes;
+          Alcotest.test_case "D013 quadratic accumulation" `Quick test_d013_quadratic;
+          Alcotest.test_case "catalog fully covered by fixtures" `Quick test_catalog_coverage;
+          Alcotest.test_case "sym-keyed baseline survives line drift" `Quick
+            test_sym_keyed_baseline;
         ] );
       ( "gate",
         [

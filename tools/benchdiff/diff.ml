@@ -13,19 +13,28 @@
    generous threshold. The diff itself is deterministic in its two input
    documents. *)
 
+(* Experiments present in only one snapshot are not silently collapsed
+   into side lists: they appear in [entries] with an explicit presence, so
+   every key of either document has exactly one entry in the report. *)
+type presence =
+  | Compared (* in both snapshots: ratio judged *)
+  | Removed (* baseline-only: fails the gate *)
+  | Added (* candidate-only: informational *)
+
 type entry = {
   key : string;
-  base_s : float;
-  cand_s : float;
-  ratio : float; (* cand_s /. base_s; infinity when base_s = 0 *)
+  base_s : float; (* 0. for Added entries *)
+  cand_s : float; (* 0. for Removed entries *)
+  ratio : float; (* cand_s /. base_s; infinity when base_s = 0; nan one-sided *)
   skipped : bool; (* baseline under the noise floor: never gates *)
   regressed : bool;
+  presence : presence;
 }
 
 type t = {
   threshold : float;
   min_base_s : float;
-  entries : entry list; (* baseline document order *)
+  entries : entry list; (* baseline document order, then Added in candidate order *)
   missing : string list; (* baseline keys absent from the candidate *)
   extra : string list; (* candidate keys absent from the baseline *)
 }
@@ -57,24 +66,50 @@ let of_json ~threshold ~min_base_s ~baseline ~candidate =
   let base = experiments ~what:"baseline" baseline in
   let cand = experiments ~what:"candidate" candidate in
   let entries =
-    List.filter_map
+    List.map
       (fun (key, base_s) ->
         match List.assoc_opt key cand with
-        | None -> None
+        | None ->
+            {
+              key;
+              base_s;
+              cand_s = 0.0;
+              ratio = Float.nan;
+              skipped = false;
+              regressed = false;
+              presence = Removed;
+            }
         | Some cand_s ->
             let skipped = base_s < min_base_s in
             let ratio = if base_s > 0.0 then cand_s /. base_s else infinity in
-            Some
-              { key; base_s; cand_s; ratio; skipped; regressed = (not skipped) && ratio > threshold })
+            {
+              key;
+              base_s;
+              cand_s;
+              ratio;
+              skipped;
+              regressed = (not skipped) && ratio > threshold;
+              presence = Compared;
+            })
       base
+    @ List.filter_map
+        (fun (key, cand_s) ->
+          if List.mem_assoc key base then None
+          else
+            Some
+              {
+                key;
+                base_s = 0.0;
+                cand_s;
+                ratio = Float.nan;
+                skipped = false;
+                regressed = false;
+                presence = Added;
+              })
+        cand
   in
-  let missing =
-    List.filter_map (fun (k, _) -> if List.mem_assoc k cand then None else Some k) base
-  in
-  let extra =
-    List.filter_map (fun (k, _) -> if List.mem_assoc k base then None else Some k) cand
-  in
-  { threshold; min_base_s; entries; missing; extra }
+  let keys want = List.filter_map (fun e -> if e.presence = want then Some e.key else None) entries in
+  { threshold; min_base_s; entries; missing = keys Removed; extra = keys Added }
 
 let slurp path =
   let ic = open_in path in
@@ -95,17 +130,33 @@ let regressions t = List.filter_map (fun e -> if e.regressed then Some e.key els
 let ok t = regressions t = [] && t.missing = []
 
 let entry_json e =
-  Obs.Json.Obj
-    [
-      ("key", Obs.Json.Str e.key);
-      ("base_s", Obs.Json.Float e.base_s);
-      ("cand_s", Obs.Json.Float e.cand_s);
-      ( "ratio",
-        if Float.is_finite e.ratio then Obs.Json.Float e.ratio else Obs.Json.Str "inf" );
-      ( "status",
-        Obs.Json.Str (if e.regressed then "regressed" else if e.skipped then "skipped" else "ok")
-      );
-    ]
+  match e.presence with
+  | Removed ->
+      Obs.Json.Obj
+        [
+          ("key", Obs.Json.Str e.key);
+          ("base_s", Obs.Json.Float e.base_s);
+          ("status", Obs.Json.Str "removed");
+        ]
+  | Added ->
+      Obs.Json.Obj
+        [
+          ("key", Obs.Json.Str e.key);
+          ("cand_s", Obs.Json.Float e.cand_s);
+          ("status", Obs.Json.Str "added");
+        ]
+  | Compared ->
+      Obs.Json.Obj
+        [
+          ("key", Obs.Json.Str e.key);
+          ("base_s", Obs.Json.Float e.base_s);
+          ("cand_s", Obs.Json.Float e.cand_s);
+          ( "ratio",
+            if Float.is_finite e.ratio then Obs.Json.Float e.ratio else Obs.Json.Str "inf" );
+          ( "status",
+            Obs.Json.Str
+              (if e.regressed then "regressed" else if e.skipped then "skipped" else "ok") );
+        ]
 
 let to_json t =
   Obs.Json.Obj
@@ -124,11 +175,16 @@ let pp fmt t =
   Format.fprintf fmt "benchdiff: threshold x%.2f, noise floor %.3fs@." t.threshold t.min_base_s;
   List.iter
     (fun e ->
-      Format.fprintf fmt "  %-8s %8.3fs -> %8.3fs  (x%.2f)%s@." e.key e.base_s e.cand_s e.ratio
-        (if e.regressed then "  REGRESSED"
-         else if e.skipped then "  (under noise floor)"
-         else ""))
+      match e.presence with
+      | Removed ->
+          Format.fprintf fmt "  %-8s %8.3fs ->   (absent)  REMOVED from candidate@." e.key
+            e.base_s
+      | Added -> Format.fprintf fmt "  %-8s  (absent) -> %8.3fs  added (not gated)@." e.key e.cand_s
+      | Compared ->
+          Format.fprintf fmt "  %-8s %8.3fs -> %8.3fs  (x%.2f)%s@." e.key e.base_s e.cand_s
+            e.ratio
+            (if e.regressed then "  REGRESSED"
+             else if e.skipped then "  (under noise floor)"
+             else ""))
     t.entries;
-  List.iter (fun k -> Format.fprintf fmt "  %-8s missing from candidate@." k) t.missing;
-  List.iter (fun k -> Format.fprintf fmt "  %-8s new in candidate (not gated)@." k) t.extra;
   Format.fprintf fmt "  verdict: %s@." (if ok t then "ok" else "FAIL")

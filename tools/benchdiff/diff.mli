@@ -8,19 +8,32 @@
     candidate-only experiments are reported but not gated. The
     comparison is deterministic in the two input documents. *)
 
+(** Which snapshot(s) an experiment appears in. One-sided experiments get
+    their own explicit entry rather than being collapsed into a key list:
+    every key of either document has exactly one entry in the report. *)
+type presence =
+  | Compared  (** In both snapshots: the ratio is judged. *)
+  | Removed  (** Baseline-only: fails the gate. *)
+  | Added  (** Candidate-only: informational. *)
+
 type entry = {
   key : string;
-  base_s : float;
-  cand_s : float;
-  ratio : float;  (** [cand_s /. base_s]; [infinity] when [base_s = 0]. *)
+  base_s : float;  (** [0.] for [Added] entries. *)
+  cand_s : float;  (** [0.] for [Removed] entries. *)
+  ratio : float;
+      (** [cand_s /. base_s]; [infinity] when [base_s = 0]; [nan] for
+          one-sided entries. *)
   skipped : bool;  (** Baseline under the noise floor: never gates. *)
   regressed : bool;
+  presence : presence;
 }
 
 type t = {
   threshold : float;
   min_base_s : float;
-  entries : entry list;  (** Baseline document order. *)
+  entries : entry list;
+      (** Baseline document order, then [Added] entries in candidate
+          order. *)
   missing : string list;  (** Baseline keys absent from the candidate. *)
   extra : string list;  (** Candidate keys absent from the baseline. *)
 }
@@ -46,7 +59,8 @@ val ok : t -> bool
 val to_json : t -> Obs.Json.t
 (** [{"schema":"benchdiff/1","threshold":..,"min_base_s":..,"ok":..,
     "regressions":[..],"missing":[..],"extra":[..],"entries":[{"key",
-    "base_s","cand_s","ratio","status"}]}]. *)
+    "base_s","cand_s","ratio","status"}]}]. One-sided entries carry
+    [status] ["removed"]/["added"] and only the side that exists. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human rendering: one line per experiment plus the gate verdict. *)

@@ -1,26 +1,50 @@
 (* Grandfathered findings.
 
    The checked-in [tools/simlint/baseline.json] lists findings that predate
-   the gate. A finding matching an entry (same file, rule and line) is
-   reported as "baselined" and does not fail the build, so the gate can be
-   strict from day one while legacy debt is paid down. Each entry matches at
-   most one finding; stale entries are surfaced so the baseline can only
-   shrink. *)
+   the gate. A finding matching an entry is reported as "baselined" and
+   does not fail the build, so the gate can be strict from day one while
+   legacy debt is paid down. Each entry matches at most one finding; stale
+   entries are surfaced so the baseline can only shrink.
 
-type entry = { file : string; rule : string; line : int }
+   Two kinds of key coexist (schema simlint-baseline/2):
 
-let schema = "simlint-baseline/1"
+     - line keys (file + rule + line) for the per-file rules, whose
+       findings are anchored to a concrete source position;
+     - symbol keys (file + rule + sym) for the interprocedural rules
+       (D009-D012), whose positions drift under any unrelated edit to the
+       files along the chain. The sym is the chain's stable endpoints —
+       e.g. "Dsim.Engine.step->Dsim.Trace.append:record" — so a baselined
+       interprocedural finding survives reformatting but dies the moment
+       the code it is actually about changes.
+
+   Schema v1 files (line keys only) still load; --baseline-update always
+   writes v2. *)
+
+type entry = {
+  file : string;
+  rule : string;
+  line : int;  (** ignored when [sym] is present *)
+  sym : string option;
+}
+
+let schema = "simlint-baseline/2"
+let schema_v1 = "simlint-baseline/1"
 
 let empty : entry list = []
 
 let of_json j =
   let open Obs.Json in
   (match find j "schema" with
-  | Some (Str s) when s = schema -> ()
-  | _ -> failwith ("baseline: expected schema " ^ schema));
+  | Some (Str s) when s = schema || s = schema_v1 -> ()
+  | _ -> failwith ("baseline: expected schema " ^ schema ^ " or " ^ schema_v1));
   arr (get j "findings")
   |> List.map (fun e ->
-         { file = str (get e "file"); rule = str (get e "rule"); line = int (get e "line") })
+         {
+           file = str (get e "file");
+           rule = str (get e "rule");
+           line = (match find e "line" with Some (Int n) -> n | _ -> 0);
+           sym = (match find e "sym" with Some (Str s) -> Some s | _ -> None);
+         })
 
 let to_json entries =
   Obs.Json.Obj
@@ -30,12 +54,19 @@ let to_json entries =
         Obs.Json.Arr
           (List.map
              (fun e ->
+               (* [line] is always written — informational for sym-keyed
+                  entries (matching ignores it), the key itself otherwise —
+                  so write/load round-trips entries exactly. *)
                Obs.Json.Obj
-                 [
-                   ("file", Obs.Json.Str e.file);
-                   ("rule", Obs.Json.Str e.rule);
-                   ("line", Obs.Json.Int e.line);
-                 ])
+                 ([
+                    ("file", Obs.Json.Str e.file);
+                    ("rule", Obs.Json.Str e.rule);
+                    ("line", Obs.Json.Int e.line);
+                  ]
+                 @
+                 match e.sym with
+                 | Some s -> [ ("sym", Obs.Json.Str s) ]
+                 | None -> []))
              entries) );
     ]
 
@@ -54,13 +85,22 @@ let load path =
   close_in ic;
   of_json (Obs.Json.of_string text)
 
-(* Consume the first entry matching [f]; return the shrunk baseline on hit. *)
+(* Consume the first entry matching [f]; return the shrunk baseline on hit.
+   A sym-keyed entry matches on (file, rule, sym) ignoring the line; a
+   line-keyed entry matches a finding without regard to its sym, so v1
+   baselines keep working for interprocedural findings too. *)
 let matches entries (f : Finding.t) =
+  let hits e =
+    e.file = f.Finding.file
+    && e.rule = f.Finding.rule
+    &&
+    match e.sym with
+    | Some s -> f.Finding.sym = Some s
+    | None -> e.line = f.Finding.line
+  in
   let rec go acc = function
     | [] -> None
-    | e :: tl when e.file = f.Finding.file && e.rule = f.Finding.rule && e.line = f.Finding.line
-      ->
-        Some (List.rev_append acc tl)
+    | e :: tl when hits e -> Some (List.rev_append acc tl)
     | e :: tl -> go (e :: acc) tl
   in
   go [] entries

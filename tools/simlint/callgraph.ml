@@ -314,3 +314,54 @@ let build (inputs : input list) : t =
   }
 
 let find_node t id = List.assoc_opt id t.nodes
+
+(* Iterate the top-level value bindings of one input with exactly the
+   canonical ids [build] assigns its nodes (namespace prefix, nested-module
+   scopes, the synthetic "(init)" for pattern-less bindings), without
+   touching a builder. The allocation ([Alloc]) and escape ([Escape])
+   analyses walk binding bodies through this, so a site they report always
+   names a node the call-graph passes know. *)
+let iter_bindings (inp : input) (f : id:string -> line:int -> is_rec:bool -> Parsetree.expression -> unit) =
+  let root_scope =
+    match namespace_of_file inp.rel with
+    | Some n -> [ n; module_of_file inp.rel ]
+    | None -> [ module_of_file inp.rel ]
+  in
+  let rec walk_items scope items = List.iter (walk_item scope) items
+  and walk_item scope (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (rf, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let line, _ = pos_of vb.Parsetree.pvb_loc in
+            let name = Option.value ~default:"(init)" (pat_name vb.Parsetree.pvb_pat) in
+            f ~id:(dotted (scope @ [ name ])) ~line
+              ~is_rec:(rf = Asttypes.Recursive)
+              vb.Parsetree.pvb_expr)
+          vbs
+    | Parsetree.Pstr_eval (e, _) ->
+        let line, _ = pos_of si.Parsetree.pstr_loc in
+        f ~id:(dotted (scope @ [ "(init)" ])) ~line ~is_rec:false e
+    | Parsetree.Pstr_module mb -> (
+        let name = match mb.Parsetree.pmb_name.txt with Some n -> n | None -> "_" in
+        match mb.Parsetree.pmb_expr.Parsetree.pmod_desc with
+        | Parsetree.Pmod_ident _ -> ()
+        | _ -> walk_mod scope name mb.Parsetree.pmb_expr)
+    | Parsetree.Pstr_recmodule mbs ->
+        List.iter
+          (fun (mb : Parsetree.module_binding) ->
+            let name = match mb.Parsetree.pmb_name.txt with Some n -> n | None -> "_" in
+            walk_mod scope name mb.Parsetree.pmb_expr)
+          mbs
+    | Parsetree.Pstr_include i -> (
+        match i.Parsetree.pincl_mod.Parsetree.pmod_desc with
+        | Parsetree.Pmod_structure s -> walk_items scope s
+        | _ -> ())
+    | _ -> ()
+  and walk_mod scope name (m : Parsetree.module_expr) =
+    match m.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure s -> walk_items (scope @ [ name ]) s
+    | Parsetree.Pmod_constraint (inner, _) -> walk_mod scope name inner
+    | _ -> () (* functors allocate per application; skip *)
+  in
+  walk_items root_scope inp.str

@@ -25,6 +25,13 @@ let default_dirs = [ "lib"; "bin"; "bench"; "stress" ]
    do not inherit nondeterminism from it. *)
 let wallclock_allowlist = [ "lib/obs/instrument.ml" ]
 
+(* D011 hot roots that hold even if an annotation comment drifts: the
+   engine's step dispatch and the per-tick delivery path must stay
+   allocation-free for the million-philosopher target. In-source
+   [(* simlint: hotpath *)] annotations extend this set; [--hotpath ID]
+   on the CLI extends it further. *)
+let default_hotpath_roots = [ "Dsim.Engine.step"; "Dsim.Engine.deliver_ripe"; "Dsim.Vec.add_last" ]
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -57,6 +64,7 @@ type parsed = {
   lib : bool;
   wallclock_ok : bool;
   suppressions : Suppress.t;
+  hot_lines : int list;  (** lines carrying a [(* simlint: hotpath *)] annotation *)
   str : (Parsetree.structure, exn) Result.t;
 }
 
@@ -67,6 +75,7 @@ let parse_one ~allowlist ~force_lib ~root rel =
     lib = force_lib || is_lib rel;
     wallclock_ok = List.mem rel allowlist;
     suppressions = Suppress.parse text;
+    hot_lines = Suppress.hotpaths text;
     str = (try Ok (parse_structure ~path:rel text) with e -> Error e);
   }
 
@@ -101,7 +110,7 @@ let lint_file ?(force_lib = false) ~root ~rel () =
   (file_findings ~root p, p.suppressions)
 
 let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
-    ?(allowlist = wallclock_allowlist) ~root () =
+    ?(allowlist = wallclock_allowlist) ?(hotpath_roots = default_hotpath_roots) ~root () =
   let files =
     dirs
     |> List.concat_map (fun d ->
@@ -110,14 +119,24 @@ let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
   let parsed = List.map (parse_one ~allowlist ~force_lib ~root) files in
   let per_file = List.concat_map (fun p -> file_findings ~root p) parsed in
   let interprocedural =
-    parsed
-    |> List.filter_map (fun p ->
-           match p.str with
-           | Ok str ->
-               Some { Callgraph.rel = p.rel; lib = p.lib; wallclock_ok = p.wallclock_ok; str }
-           | Error _ -> None)
-    |> Callgraph.build
-    |> fun g -> Taint.findings g @ Taint.shared_state_findings g
+    let ok =
+      List.filter_map
+        (fun p ->
+          match p.str with
+          | Ok str ->
+              Some
+                ( { Callgraph.rel = p.rel; lib = p.lib; wallclock_ok = p.wallclock_ok; str },
+                  p.hot_lines )
+          | Error _ -> None)
+        parsed
+    in
+    let inputs = List.map fst ok in
+    let g = Callgraph.build inputs in
+    Taint.findings g @ Taint.shared_state_findings g
+    @ Alloc.findings
+        (List.map (fun (input, hot_lines) -> { Alloc.input; hot_lines }) ok)
+        g ~roots:hotpath_roots
+    @ Escape.findings inputs
   in
   let suppressions_of =
     let tbl = Hashtbl.create 64 in
@@ -153,14 +172,22 @@ let open_findings t = List.filter (fun (_, s) -> s = Finding.Open) t.findings
 let gate_ok t = open_findings t = [] && t.stale_baseline = []
 
 (* Deterministic baseline regeneration: every finding that is not
-   suppressed in-source becomes an entry, in report order. *)
+   suppressed in-source becomes an entry, in report order. Interprocedural
+   findings carry a symbol chain and get sym-keyed entries (stable under
+   line drift); per-file findings stay line-keyed. *)
 let to_baseline t =
   List.filter_map
     (fun ((f : Finding.t), s) ->
       match s with
       | Finding.Suppressed -> None
       | Finding.Open | Finding.Baselined ->
-          Some { Baseline.file = f.Finding.file; rule = f.Finding.rule; line = f.Finding.line })
+          Some
+            {
+              Baseline.file = f.Finding.file;
+              rule = f.Finding.rule;
+              line = f.Finding.line;
+              sym = f.Finding.sym;
+            })
     t.findings
 
 let to_json t =
@@ -177,11 +204,15 @@ let to_json t =
           (List.map
              (fun (e : Baseline.entry) ->
                Obs.Json.Obj
-                 [
-                   ("file", Obs.Json.Str e.Baseline.file);
-                   ("rule", Obs.Json.Str e.Baseline.rule);
-                   ("line", Obs.Json.Int e.Baseline.line);
-                 ])
+                 ([
+                    ("file", Obs.Json.Str e.Baseline.file);
+                    ("rule", Obs.Json.Str e.Baseline.rule);
+                    ("line", Obs.Json.Int e.Baseline.line);
+                  ]
+                 @
+                 match e.Baseline.sym with
+                 | Some s -> [ ("sym", Obs.Json.Str s) ]
+                 | None -> []))
              t.stale_baseline) );
     ]
 
@@ -195,9 +226,17 @@ let print_human ppf t =
     t.findings;
   List.iter
     (fun (e : Baseline.entry) ->
-      Format.fprintf ppf
-        "simlint: stale baseline entry %s %s:%d (fixed? remove it or run --baseline-update)@."
-        e.Baseline.rule e.Baseline.file e.Baseline.line)
+      match e.Baseline.sym with
+      | Some s ->
+          Format.fprintf ppf
+            "simlint: stale baseline entry %s %s [%s] (fixed? remove it or run \
+             --baseline-update)@."
+            e.Baseline.rule e.Baseline.file s
+      | None ->
+          Format.fprintf ppf
+            "simlint: stale baseline entry %s %s:%d (fixed? remove it or run \
+             --baseline-update)@."
+            e.Baseline.rule e.Baseline.file e.Baseline.line)
     t.stale_baseline;
   Format.fprintf ppf "simlint: %d file(s), %d open, %d suppressed, %d baselined@."
     t.files_scanned (count Finding.Open t) (count Finding.Suppressed t)

@@ -10,24 +10,35 @@ type status = Open | Suppressed | Baselined
 type severity = Error | Warning | Note
 
 type t = {
-  rule : string;  (** "D001" .. "D010", or "E000" for parse failures *)
+  rule : string;  (** "D001" .. "D013", or "E000" for parse failures *)
   file : string;  (** path relative to the lint root *)
   line : int;  (** 1-based *)
   col : int;  (** 0-based, as the compiler prints them *)
   msg : string;
   severity : severity;
+  sym : string option;
+      (** Stable symbol-chain key for interprocedural findings (D009–D012):
+          the chain's endpoints, e.g. "Dsim.Engine.step->Dsim.Trace.append:
+          record". Line numbers drift under unrelated edits; the endpoints
+          only change when the code the finding is about changes, so the
+          baseline keys on [sym] when present. *)
 }
 
 (* Determinism leaks (including the interprocedural D010) break the replay
-   contract outright; the hygiene rules flag hazards that need a human
-   judgement call; D005 is a conventions nudge. *)
+   contract outright, and cross-domain escapes (D012) race; the hygiene
+   rules flag hazards that need a human judgement call; D005 is a
+   conventions nudge. *)
 let severity_of_rule = function
-  | "D001" | "D002" | "D003" | "D009" | "D010" | "E000" -> Error
-  | "D004" | "D006" | "D007" | "D008" -> Warning
+  | "D001" | "D002" | "D003" | "D009" | "D010" | "D012" | "E000" -> Error
+  | "D004" | "D006" | "D007" | "D008" | "D011" | "D013" -> Warning
   | _ -> Note
 
 let make ~rule ~file ~line ~col ~msg =
-  { rule; file; line; col; msg; severity = severity_of_rule rule }
+  { rule; file; line; col; msg; severity = severity_of_rule rule; sym = None }
+
+(* Attach the stable symbol key; the interprocedural passes pipe their
+   findings through this. *)
+let with_sym sym t = { t with sym = Some sym }
 
 let of_location ~rule ~file ~msg (loc : Location.t) =
   let p = loc.Location.loc_start in
@@ -57,12 +68,13 @@ let to_string t = Printf.sprintf "%s:%d:%d: %s %s" t.file t.line t.col t.rule t.
 
 let to_json (t, status) =
   Obs.Json.Obj
-    [
-      ("rule", Obs.Json.Str t.rule);
-      ("file", Obs.Json.Str t.file);
-      ("line", Obs.Json.Int t.line);
-      ("col", Obs.Json.Int t.col);
-      ("severity", Obs.Json.Str (severity_name t.severity));
-      ("msg", Obs.Json.Str t.msg);
-      ("status", Obs.Json.Str (status_name status));
-    ]
+    ([
+       ("rule", Obs.Json.Str t.rule);
+       ("file", Obs.Json.Str t.file);
+       ("line", Obs.Json.Int t.line);
+       ("col", Obs.Json.Int t.col);
+       ("severity", Obs.Json.Str (severity_name t.severity));
+       ("msg", Obs.Json.Str t.msg);
+       ("status", Obs.Json.Str (status_name status));
+     ]
+    @ match t.sym with None -> [] | Some s -> [ ("sym", Obs.Json.Str s) ])

@@ -10,3 +10,7 @@ open Random
 module R = Random
 
 let f () = R.bool ()
+
+let justified_roll () =
+  (* simlint: allow D002 — fixture: suppressed ambient-randomness site *)
+  Random.bits ()

@@ -3,3 +3,7 @@
 let cast (x : int) : string = Obj.magic x
 let same_box a b = a == b
 let diff_box a b = a != b
+
+let justified_eq a b =
+  (* simlint: allow D004 — fixture: physical equality intended here *)
+  a == b

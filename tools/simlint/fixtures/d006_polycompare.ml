@@ -9,3 +9,7 @@ let cmp_lists l = compare l [ 1; 2 ]
 (* ok: scalar operands, and a comparator used as a value *)
 let scalar_eq a b = a = b
 let sorted l = List.sort compare l
+
+let justified_pair_eq a b =
+  (* simlint: allow D006 — fixture: structural compare accepted here *)
+  (a, 1) = (b, 1)

@@ -5,3 +5,7 @@ let partial f = try f () with Failure _ -> 1 | _ -> 2
 
 (* ok: names the exception it can actually handle *)
 let named f = try f () with Not_found -> 3
+
+let justified_swallow f =
+  (* simlint: allow D007 — fixture: probe must not propagate *)
+  try f () with _ -> ()

@@ -1,0 +1,15 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D011: allocation reachable from a [(* simlint: hotpath *)] root. The
+   tuple in [build_pair] is reached through the call graph and must be
+   reported with the full hot-caller chain; the amortised growth in [grow]
+   carries its own justification. *)
+let build_pair a b = (a, b)
+
+let grow n =
+  (* simlint: allow D011 — fixture: amortised scratch growth is justified *)
+  Array.make n 0
+
+(* simlint: hotpath *)
+let hot_tick x = fst (build_pair x (Array.length (grow x)))
+
+let cold_pair x = build_pair x x

@@ -1,0 +1,28 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D012: locally-bound mutable state escaping into Pool worker closures,
+   and a non-atomic Atomic read-modify-write. The warmed read-only capture
+   is the sanctioned fan-out idiom and stays clean; the justified race
+   carries its own suppression. *)
+let racy_sum n =
+  let total = ref 0 in
+  Pool.iter ~jobs:2 n (fun i -> total := !total + i);
+  !total
+
+let racy_fill n =
+  let results = Array.make n 0 in
+  Pool.iter ~jobs:2 n (fun i -> results.(i) <- i * i);
+  results
+
+let warmed_readonly n =
+  let table = Array.make n 1 in
+  Pool.map ~jobs:2 n (fun i -> table.(i))
+
+let justified n =
+  let hits = ref 0 in
+  (* simlint: allow D012 — fixture: the probe tolerates this race *)
+  Pool.iter ~jobs:2 n (fun i -> hits := !hits + i);
+  !hits
+
+let lost_update c = Atomic.set c (Atomic.get c + 1)
+
+let atomic_ok c = Atomic.incr c

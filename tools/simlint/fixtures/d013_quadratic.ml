@@ -1,0 +1,18 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D013: accumulators rebuilt with [@] / [^] inside recursive self-calls
+   are O(n^2); consing with one final reverse is the linear spelling and
+   stays clean, as does an append outside any self-call. *)
+let rec collect acc n = if n = 0 then acc else collect (acc @ [ n ]) (n - 1)
+
+let rec render acc n = if n = 0 then acc else render (acc ^ "x") (n - 1)
+
+let rec collect_fast acc n =
+  if n = 0 then List.rev acc else collect_fast (n :: acc) (n - 1)
+
+let rec justified acc n =
+  if n = 0 then acc
+  else
+    (* simlint: allow D013 — fixture: n is tiny here, clarity wins *)
+    justified (acc @ [ n ]) (n - 1)
+
+let merge a b = a @ b

@@ -20,6 +20,7 @@ let () =
   let sarif_path = ref "" in
   let baseline_update = ref false in
   let force_lib = ref false in
+  let hotpaths = ref [] in
   let dirs = ref [] in
   let spec =
     [
@@ -36,6 +37,9 @@ let () =
       ( "--force-lib",
         Arg.Set force_lib,
         " apply lib-only rules (D004/D005/D006/D007/D008) to every scanned file" );
+      ( "--hotpath",
+        Arg.String (fun id -> hotpaths := id :: !hotpaths),
+        "ID extra D011 hot root (dotted node id, e.g. Dsim.Engine.step); repeatable" );
     ]
   in
   let usage = "simlint [--root DIR] [--baseline FILE] [--json] [--sarif FILE] [DIR ...]" in
@@ -51,7 +55,10 @@ let () =
     (* Regenerate from a baseline-free run: every finding that is not
        suppressed in-source becomes an entry, in canonical report order. *)
     let result =
-      try Driver.run ~dirs ~force_lib:!force_lib ~root:!root ()
+      try
+        Driver.run ~dirs ~force_lib:!force_lib
+          ~hotpath_roots:(Driver.default_hotpath_roots @ List.rev !hotpaths)
+          ~root:!root ()
       with e ->
         Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
         exit 2
@@ -77,7 +84,10 @@ let () =
           exit 2)
   in
   let result =
-    try Driver.run ~baseline ~dirs ~force_lib:!force_lib ~root:!root ()
+    try
+      Driver.run ~baseline ~dirs ~force_lib:!force_lib
+        ~hotpath_roots:(Driver.default_hotpath_roots @ List.rev !hotpaths)
+        ~root:!root ()
     with e ->
       Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
       exit 2

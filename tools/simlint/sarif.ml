@@ -13,7 +13,7 @@
 
 let version = "2.1.0"
 let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
-let tool_version = "2.0.0"
+let tool_version = "3.0.0"
 
 let level_of (s : Finding.severity) =
   match s with Finding.Error -> "error" | Finding.Warning -> "warning" | Finding.Note -> "note"
@@ -53,6 +53,16 @@ let result_json ((f : Finding.t), (status : Finding.status)) =
       ("locations", Obs.Json.Arr [ location ]);
     ]
   in
+  (* Interprocedural findings expose their symbol-chain key (the same one
+     the baseline matches on) as a stable fingerprint, so code-scanning
+     dedup survives line drift just like the baseline does. *)
+  let fingerprints =
+    match f.Finding.sym with
+    | Some s ->
+        [ ("partialFingerprints", Obs.Json.Obj [ ("simlintSym/v1", Obs.Json.Str s) ]) ]
+    | None -> []
+  in
+  let base = base @ fingerprints in
   let suppressions =
     match status with
     | Finding.Open -> []

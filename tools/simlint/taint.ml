@@ -57,6 +57,27 @@ let propagate_from (g : Callgraph.t) (seeds : (string * chain) list) : (string, 
   done;
   tainted
 
+(* Callee-ward fixpoint (forward over call edges), for analyses that ask
+   "what does this root reach" rather than "who reaches this seed" — the
+   same BFS run over the graph with every edge flipped. The allocation
+   analysis ([Alloc], rule D011) seeds this with the hot-path roots; a
+   reached node's trail is [node .. root], so reversing it yields the
+   human-facing "hot caller -> ... -> allocating callee" chain. *)
+let propagate_forward (g : Callgraph.t) (seeds : (string * chain) list) :
+    (string, chain) Hashtbl.t =
+  let flipped =
+    {
+      g with
+      Callgraph.edges =
+        List.sort compare
+          (List.map
+             (fun (e : Callgraph.edge) ->
+               { e with Callgraph.caller = e.Callgraph.callee; callee = e.Callgraph.caller })
+             g.Callgraph.edges);
+    }
+  in
+  propagate_from flipped seeds
+
 let propagate (g : Callgraph.t) : (string, chain) Hashtbl.t =
   propagate_from g
     (List.map
@@ -82,8 +103,11 @@ let findings (g : Callgraph.t) : Finding.t list =
              && not (Hashtbl.mem reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col, e.Callgraph.callee)) ->
           Hashtbl.replace reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col, e.Callgraph.callee) ();
           let chain = String.concat " -> " (e.Callgraph.caller :: c.trail) in
+          let seed_node = List.nth c.trail (List.length c.trail - 1) in
           Some
-            (Finding.make ~rule:"D010" ~file:e.Callgraph.file ~line:e.Callgraph.line
+            (Finding.with_sym
+               (Printf.sprintf "%s->%s:%s" e.Callgraph.caller seed_node c.source)
+            @@ Finding.make ~rule:"D010" ~file:e.Callgraph.file ~line:e.Callgraph.line
                ~col:e.Callgraph.col
                ~msg:
                  (Printf.sprintf
@@ -130,8 +154,11 @@ let shared_state_findings (g : Callgraph.t) : Finding.t list =
         | Some c when not (Hashtbl.mem reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col)) ->
             Hashtbl.replace reported (e.Callgraph.file, e.Callgraph.line, e.Callgraph.col) ();
             let chain = String.concat " -> " c.trail in
+            let mut_node = List.nth c.trail (List.length c.trail - 1) in
             Some
-              (Finding.make ~rule:"D009" ~file:e.Callgraph.file ~line:e.Callgraph.line
+              (Finding.with_sym
+                 (Printf.sprintf "%s->%s:%s" e.Callgraph.caller mut_node c.source)
+              @@ Finding.make ~rule:"D009" ~file:e.Callgraph.file ~line:e.Callgraph.line
                  ~col:e.Callgraph.col
                  ~msg:
                    (Printf.sprintf
