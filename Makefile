@@ -3,8 +3,8 @@
 # determinism gate, and a 10k-tick end-to-end smoke that a run report is
 # written and parses.
 
-.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke bench-smoke \
-	bench-diff trace-smoke clean
+.PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke mc-smoke \
+	bench-smoke bench-diff trace-smoke clean
 
 # Worker count for the parallel targets below. Results are byte-identical
 # for any J (see DESIGN.md, "Parallel execution & determinism contract"),
@@ -56,6 +56,17 @@ fuzz-smoke: build
 		-j $(J) --report /tmp/dinersim-fuzz-smoke.json
 	dune exec bin/dinersim.exe -- report /tmp/dinersim-fuzz-smoke.json
 
+# Bounded exhaustive model check of a known-good instance: every one of
+# the 256 schedules a dls(delta=2,phi=1) adversary can produce for wf on
+# a pair within 12 ticks, all dining monitors green. Exits non-zero on
+# any violation; the dinersim-mc/1 report is re-parsed as a round-trip
+# check (and uploaded as a CI artifact).
+mc-smoke: build
+	dune exec bin/dinersim.exe -- check --algo wf --topology pair --horizon 12 \
+		--delta 2 --phi 1 --eat-ticks 1 --seed 0x5EED -j $(J) \
+		--out /tmp/dinersim-mc-repro --report /tmp/dinersim-mc-smoke.json
+	dune exec bin/dinersim.exe -- report /tmp/dinersim-mc-smoke.json
+
 # Refresh the committed benchmark snapshot. Medians over --trials runs;
 # the extra trials execute on the worker pool, and the recorded `jobs`
 # field documents the pool width used for the refresh.
@@ -83,7 +94,7 @@ trace-smoke: build
 		--trace-out /tmp/dinersim-trace-smoke.jsonl > /dev/null
 	dune exec bin/dinersim.exe -- trace /tmp/dinersim-trace-smoke.jsonl
 
-check: fmt build test lint smoke fuzz-smoke trace-smoke
+check: fmt build test lint smoke fuzz-smoke mc-smoke trace-smoke
 	@echo "check: OK"
 
 clean:

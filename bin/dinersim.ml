@@ -809,6 +809,7 @@ let run_report path =
   | `Run j -> Format.printf "%a" Obs.Report.pp_summary j
   | `Campaign j -> Format.printf "%a" Obs.Report.pp_campaign_summary j
   | `Simlint j -> Format.printf "%a" Obs.Report.pp_simlint_summary j
+  | `Mc j -> Format.printf "%a" Obs.Report.pp_mc_summary j
   | exception Failure msg ->
       prerr_endline msg;
       exit 2
@@ -1133,6 +1134,196 @@ let trace_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check — bounded exhaustive model checking *)
+
+let run_check algo topology horizon delta phi eat_ticks seed crash_budget crash_grid no_por
+    max_schedules split_depth jobs out report_path =
+  let registry = Check.Runner.default_registry in
+  if not (List.mem_assoc algo registry) then begin
+    Printf.eprintf "dinersim: unknown algorithm %S (known: %s)\n" algo
+      (String.concat ", " (List.map fst registry));
+    exit 2
+  end;
+  let topology =
+    match Check.Config.topology_of_string topology with
+    | Some t -> t
+    | None ->
+        Printf.eprintf
+          "dinersim: bad topology %S (pair | ring:N | clique:N | star:N | path:N)\n" topology;
+        exit 2
+  in
+  if delta < 1 || phi < 1 then begin
+    Printf.eprintf "dinersim: --delta and --phi must be at least 1\n";
+    exit 2
+  end;
+  if jobs < 1 then begin
+    Printf.eprintf "dinersim: --jobs must be at least 1 (got %d)\n" jobs;
+    exit 2
+  end;
+  let base =
+    {
+      Check.Config.algo;
+      topology;
+      adversary = Check.Config.Dls { delta; phi };
+      crashes = [];
+      handicap = None;
+      horizon;
+      eat_ticks;
+      seed;
+    }
+  in
+  let mc =
+    {
+      Mc.Explore.base;
+      por = not no_por;
+      max_schedules;
+      split_depth;
+      jobs;
+      crash_budget;
+      crash_grid;
+      collect_schedules = false;
+    }
+  in
+  let total_crash_scheds = List.length (Mc.Explore.crash_schedules mc) in
+  Printf.printf "check: %s\n%!" (Check.Config.describe base);
+  let progress (s : Mc.Explore.stats) =
+    Printf.printf "  crash schedule %d/%d: %d schedule(s), %d pruned, %d violation(s)%s\n%!"
+      s.Mc.Explore.crash_schedules total_crash_scheds s.Mc.Explore.schedules
+      s.Mc.Explore.pruned s.Mc.Explore.violation_count
+      (if s.Mc.Explore.truncated then " [truncated]" else "")
+  in
+  let metrics = Obs.Metrics.create () in
+  let result, total_s =
+    Obs.Instrument.time (fun () -> Mc.Explore.run ~progress ~metrics ~registry mc)
+  in
+  let s = result.Mc.Explore.stats in
+  List.iter
+    (fun (v : Mc.Explore.violation) ->
+      io_or_die "counterexample directory" (fun () -> ensure_dir out);
+      let digest = Check.Repro.digest v.Mc.Explore.repro in
+      let path =
+        Filename.concat out
+          (Printf.sprintf "cex%04d-%s.json" v.Mc.Explore.schedule_index
+             (String.sub digest 0 12))
+      in
+      io_or_die "counterexample artifact" (fun () -> Check.Repro.save ~path v.Mc.Explore.repro);
+      Printf.printf "  counterexample: schedule %d of crash schedule %d -> %s (digest %s)\n"
+        v.Mc.Explore.schedule_index v.Mc.Explore.crash_index path digest)
+    result.Mc.Explore.violations;
+  Printf.printf "check: %d schedule(s) over %d crash schedule(s), %d pruned, %d violation(s)%s\n"
+    s.Mc.Explore.schedules s.Mc.Explore.crash_schedules s.Mc.Explore.pruned
+    s.Mc.Explore.violation_count
+    (if s.Mc.Explore.truncated then " [TRUNCATED: raise --max-schedules]" else "");
+  Option.iter
+    (fun path ->
+      let wall = Obs.Json.Obj [ ("total_s", Obs.Json.Float total_s) ] in
+      io_or_die "report" (fun () ->
+          Obs.Report.write ~path (Mc.Report.make ~config:mc ~result ~metrics ~wall ()));
+      Printf.printf "report written to %s\n" path)
+    report_path;
+  match result.Mc.Explore.violations with [] -> () | _ :: _ -> exit 1
+
+let check_cmd =
+  let algo_t =
+    Arg.(
+      value & opt string "wf"
+      & info [ "algo" ] ~docv:"NAME" ~doc:"Dining algorithm to model-check.")
+  in
+  let topology_t =
+    Arg.(
+      value & opt string "pair"
+      & info [ "topology" ] ~docv:"SHAPE"
+          ~doc:"Conflict graph: pair, ring:N, clique:N, star:N or path:N. Keep it tiny.")
+  in
+  let horizon_t =
+    Arg.(
+      value & opt int 12
+      & info [ "horizon" ] ~docv:"TICKS"
+          ~doc:
+            "Tick bound of every explored run. The schedule tree grows exponentially in the \
+             horizon; 10-16 is the practical exhaustive range.")
+  in
+  let delta_t =
+    Arg.(
+      value & opt int 2
+      & info [ "delta" ] ~docv:"D"
+          ~doc:"DLS message-delay bound: every delivery delay is enumerated over [1, D].")
+  in
+  let phi_t =
+    Arg.(
+      value & opt int 1
+      & info [ "phi" ] ~docv:"PHI"
+          ~doc:
+            "DLS relative-speed bound: a live process takes a step at least every PHI ticks; \
+             unforced step offers are enumerated over both outcomes. PHI=1 forces every step \
+             (delay choices remain the only nondeterminism).")
+  in
+  let eat_t =
+    Arg.(
+      value & opt int 1
+      & info [ "eat-ticks" ] ~docv:"N" ~doc:"Meal length of every greedy client.")
+  in
+  let crash_budget_t =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-budget" ] ~docv:"N"
+          ~doc:"Also enumerate every crash schedule of at most $(i,N) crashes.")
+  in
+  let crash_grid_t =
+    Arg.(
+      value & opt int 4
+      & info [ "crash-grid" ] ~docv:"TICKS" ~doc:"Tick spacing of candidate crash times.")
+  in
+  let no_por_t =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:"Disable the sleep-set partial-order reduction (explore every schedule).")
+  in
+  let max_schedules_t =
+    Arg.(
+      value & opt int 20000
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Schedule budget per subtree; exceeding it marks the report truncated.")
+  in
+  let split_depth_t =
+    Arg.(
+      value & opt int 4
+      & info [ "split-depth" ] ~docv:"N"
+          ~doc:
+            "Decision depth of the sequential root split that feeds the worker pool. Results \
+             are byte-identical for any value; deeper splits expose more parallelism.")
+  in
+  let jobs_t =
+    Arg.(
+      value
+      & opt int (Exec.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for subtree exploration. Verdicts, counterexample artifacts and \
+             the canonical report body are byte-identical for every value.")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "mc-repro"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory for counterexample repro artifacts.")
+  in
+  let term =
+    Term.(
+      const run_check $ algo_t $ topology_t $ horizon_t $ delta_t $ phi_t $ eat_t $ seed_t
+      $ crash_budget_t $ crash_grid_t $ no_por_t $ max_schedules_t $ split_depth_t $ jobs_t
+      $ out_t $ report_t)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check a bounded instance: enumerate every schedule of a \
+          DLS-parametric adversary (message delays in [1, delta], steps at least every phi \
+          ticks), run each through the dining property monitors, and save any counterexample \
+          as a replayable fuzz-repro/1 artifact. Exits 1 if a violation was found.")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "simulator for wait-free dining under eventual weak exclusion and the ◇P reduction" in
@@ -1140,7 +1331,7 @@ let main_cmd =
   Cmd.group info
     [
       extract_cmd; dining_cmd; vulnerability_cmd; wsn_cmd; ctm_cmd; agreement_cmd;
-      certify_cmd; report_cmd; fuzz_cmd; replay_cmd; trace_cmd;
+      certify_cmd; report_cmd; fuzz_cmd; check_cmd; replay_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

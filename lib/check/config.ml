@@ -5,6 +5,7 @@ type adversary =
   | Async of { max_delay : int; step_prob_pct : int }
   | Partial of { gst : int; pre_max_delay : int; delta : int; pre_step_prob_pct : int }
   | Bursty of { gst : int; calm : int; storm : int; storm_delay : int; delta : int }
+  | Dls of { delta : int; phi : int }
 
 type topology = Pair | Ring of int | Clique of int | Star of int | Path of int
 
@@ -19,8 +20,12 @@ type t = {
   seed : int64;
 }
 
-type family = [ `Sync | `Async | `Partial | `Bursty ]
+type family = [ `Sync | `Async | `Partial | `Bursty | `Dls ]
 
+(* [`Dls] is deliberately absent: the fuzz generator never draws DLS
+   configs (they are the model checker's input, constructed explicitly by
+   [dinersim check]), and the pinned campaign digests depend on the draw
+   sequence staying exactly as it was. *)
 let all_families : family list = [ `Sync; `Async; `Partial; `Bursty ]
 
 let family_of_string = function
@@ -28,6 +33,7 @@ let family_of_string = function
   | "async" -> Some `Async
   | "partial" -> Some `Partial
   | "bursty" -> Some `Bursty
+  | "dls" -> Some `Dls
   | _ -> None
 
 let family_to_string = function
@@ -35,12 +41,14 @@ let family_to_string = function
   | `Async -> "async"
   | `Partial -> "partial"
   | `Bursty -> "bursty"
+  | `Dls -> "dls"
 
 let family = function
   | Sync -> `Sync
   | Async _ -> `Async
   | Partial _ -> `Partial
   | Bursty _ -> `Bursty
+  | Dls _ -> `Dls
 
 (* All probabilities are integer percentages so that configs round-trip
    through JSON without any float-formatting subtleties. *)
@@ -67,6 +75,7 @@ let to_adversary c =
           ()
     | Bursty { gst; calm; storm; storm_delay; delta } ->
         Adversary.bursty ~gst ~calm ~storm ~storm_delay ~delta ()
+    | Dls { delta; phi } -> Adversary.dls ~delta ~phi ()
   in
   match c.handicap with
   | None -> base
@@ -135,6 +144,13 @@ let adversary_to_json = function
           ("storm_delay", Obs.Json.Int storm_delay);
           ("delta", Obs.Json.Int delta);
         ]
+  | Dls { delta; phi } ->
+      Obs.Json.Obj
+        [
+          ("family", Obs.Json.Str "dls");
+          ("delta", Obs.Json.Int delta);
+          ("phi", Obs.Json.Int phi);
+        ]
 
 let adversary_of_json j =
   let field k = Obs.Json.int (Obs.Json.get j k) in
@@ -159,6 +175,7 @@ let adversary_of_json j =
           storm_delay = field "storm_delay";
           delta = field "delta";
         }
+  | Some (Obs.Json.Str "dls") -> Dls { delta = field "delta"; phi = field "phi" }
   | _ -> failwith "Config.adversary_of_json: missing or unknown family"
 
 let to_json c =
@@ -271,6 +288,11 @@ let gen_adversary rng ~family:fam ~horizon =
           storm_delay = Prng.int_in rng ~lo:20 ~hi:100;
           delta = Prng.int_in rng ~lo:1 ~hi:6;
         }
+  | `Dls ->
+      (* Only reachable when the caller asks for the family explicitly
+         (e.g. `dinersim fuzz --families dls`); [all_families] excludes it
+         so default campaigns draw exactly what they always drew. *)
+      Dls { delta = Prng.int_in rng ~lo:1 ~hi:6; phi = Prng.int_in rng ~lo:1 ~hi:4 }
 
 (* The campaign monitors check wait-freedom for every live process, which
    is only a fair test of algorithms designed to survive crashes: hygienic

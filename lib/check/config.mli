@@ -15,6 +15,10 @@ type adversary =
   | Async of { max_delay : int; step_prob_pct : int }
   | Partial of { gst : int; pre_max_delay : int; delta : int; pre_step_prob_pct : int }
   | Bursty of { gst : int; calm : int; storm : int; storm_delay : int; delta : int }
+  | Dls of { delta : int; phi : int }
+      (** DLS-style parametric bounds: message delay in [1, delta], a step
+          at least every [phi] ticks. The model checker's family — the
+          fuzz generator never draws it (see {!all_families}). *)
 
 type topology = Pair | Ring of int | Clique of int | Star of int | Path of int
 
@@ -29,8 +33,12 @@ type t = {
   seed : int64;
 }
 
-type family = [ `Sync | `Async | `Partial | `Bursty ]
+type family = [ `Sync | `Async | `Partial | `Bursty | `Dls ]
 
+(** The four randomly-fuzzed families. [`Dls] is excluded: DLS configs are
+    the bounded model checker's input, built explicitly by [dinersim
+    check]; keeping it out of the default draw preserves every pinned
+    campaign digest. *)
 val all_families : family list
 val family_of_string : string -> family option
 val family_to_string : family -> string

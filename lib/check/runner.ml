@@ -73,9 +73,10 @@ let default_registry =
     ("ftme", ftme_builder);
   ]
 
-let run_traced ?record ?replay ?metrics ~registry (c : Config.t) =
-  (match (record, replay) with
-  | Some _, Some _ -> invalid_arg "Runner.run: record and replay are exclusive"
+let run_traced ?record ?replay ?drive ?metrics ~registry (c : Config.t) =
+  (match (record, replay, drive) with
+  | Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _ ->
+      invalid_arg "Runner.run: record, replay and drive are mutually exclusive"
   | _ -> ());
   let builder =
     match List.assoc_opt c.Config.algo registry with
@@ -86,11 +87,12 @@ let run_traced ?record ?replay ?metrics ~registry (c : Config.t) =
   let n = Graphs.Conflict_graph.n graph in
   let base = Config.to_adversary c in
   let adversary =
-    match (record, replay) with
-    | Some tape, None -> Adversary.record tape base
-    | None, Some (len, overrides) -> Adversary.replay ~len ~overrides base
-    | None, None -> base
-    | Some _, Some _ -> assert false
+    match (record, replay, drive) with
+    | Some tape, None, None -> Adversary.record tape base
+    | None, Some (len, overrides), None -> Adversary.replay ~len ~overrides base
+    | None, None, Some controller -> Adversary.drive controller base
+    | None, None, None -> base
+    | _ -> assert false
   in
   let engine = Engine.create ~seed:c.Config.seed ~n ~adversary () in
   (* Instrumentation must be installed before components register so its
@@ -137,5 +139,5 @@ let run_traced ?record ?replay ?metrics ~registry (c : Config.t) =
     },
     trace )
 
-let run ?record ?replay ?metrics ~registry c =
-  fst (run_traced ?record ?replay ?metrics ~registry c)
+let run ?record ?replay ?drive ?metrics ~registry c =
+  fst (run_traced ?record ?replay ?drive ?metrics ~registry c)

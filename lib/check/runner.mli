@@ -38,14 +38,17 @@ val default_registry : registry
 val run :
   ?record:Adversary.tape ->
   ?replay:int * (int * Adversary.decision) list ->
+  ?drive:(Adversary.query -> Adversary.decision) ->
   ?metrics:Obs.Metrics.t ->
   registry:registry ->
   Config.t ->
   outcome
 (** Execute the config. [record] wraps the adversary so its decision
     sequence is captured; [replay] drives the first [len] adversary queries
-    from the given positional overrides (see {!Adversary.replay}). The two
-    are mutually exclusive. [metrics] installs the standard
+    from the given positional overrides (see {!Adversary.replay}); [drive]
+    hands every adversary query to a controller callback (see
+    {!Adversary.drive}) — the bounded exhaustive explorer's hook. The
+    three are mutually exclusive. [metrics] installs the standard
     {!Obs.Instrument} engine instrumentation into the given registry
     (finalized before returning) — campaign drivers give each run its own
     registry and merge them in run-index order. Raises [Failure] on an
@@ -54,6 +57,7 @@ val run :
 val run_traced :
   ?record:Adversary.tape ->
   ?replay:int * (int * Adversary.decision) list ->
+  ?drive:(Adversary.query -> Adversary.decision) ->
   ?metrics:Obs.Metrics.t ->
   registry:registry ->
   Config.t ->

@@ -86,7 +86,11 @@ let candidates (c : Config.t) =
           {
             c with
             Config.adversary = Config.Bursty { a with storm_delay = a.storm_delay / 2 };
-          });
+          }
+  | Config.Dls a ->
+      if a.delta > 1 then
+        add { c with Config.adversary = Config.Dls { a with delta = a.delta / 2 } };
+      if a.phi > 1 then add { c with Config.adversary = Config.Dls { a with phi = 1 } });
   List.iteri
     (fun i _ ->
       add { c with Config.crashes = List.filteri (fun j _ -> j <> i) c.Config.crashes })

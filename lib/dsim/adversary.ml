@@ -129,6 +129,53 @@ let replay ~len ~overrides base =
     fairness_bound = base.fairness_bound;
   }
 
+(* ------------------------------------------------------------------ *)
+(* DLS-style parametric adversary and the drive hook (model checking).
+
+   [dls] is the bounded counterpart of the classic partially synchronous
+   model of Dwork-Lynch-Stockmeyer: every message is delivered within
+   [delta] ticks and every live process takes a step at least every [phi]
+   ticks (the engine's weak-fairness backstop enforces the latter). The
+   natural adversary draws both choices uniformly; under [drive] every
+   choice is taken by an external controller instead — the bounded
+   exhaustive explorer in lib/mc enumerates exactly this decision space. *)
+
+let dls ?(delta = 2) ?(phi = 2) () =
+  if delta < 1 then invalid_arg "Adversary.dls: delta must be >= 1";
+  if phi < 1 then invalid_arg "Adversary.dls: phi must be >= 1";
+  {
+    name = Printf.sprintf "dls(delta=%d,phi=%d)" delta phi;
+    delay = (fun rng ~now:_ ~src:_ ~dst:_ -> Prng.int_in rng ~lo:1 ~hi:delta);
+    steps = (fun rng ~now:_ _ -> Prng.chance rng ~p:0.5);
+    fairness_bound = phi;
+  }
+
+type query =
+  | Delay_q of { now : Types.time; src : Types.pid; dst : Types.pid }
+  | Step_q of { now : Types.time; pid : Types.pid }
+
+let drive controller base =
+  {
+    name = base.name ^ "/driven";
+    delay =
+      (fun rng ~now ~src ~dst ->
+        (* Burn the base draws first, exactly like [record]: a driven run
+           and its full-override [replay] then consume identical PRNG
+           streams, so counterexample artifacts replay bit-identically. *)
+        let (_ : int) = base.delay rng ~now ~src ~dst in
+        match controller (Delay_q { now; src; dst }) with
+        | Delay d ->
+            if d < 1 then invalid_arg "Adversary.drive: delay must be >= 1" else d
+        | Step _ -> invalid_arg "Adversary.drive: Step decision for a delay query");
+    steps =
+      (fun rng ~now p ->
+        let (_ : bool) = base.steps rng ~now p in
+        match controller (Step_q { now; pid = p }) with
+        | Step s -> s
+        | Delay _ -> invalid_arg "Adversary.drive: Delay decision for a step query");
+    fairness_bound = base.fairness_bound;
+  }
+
 let handicap ~slow ~factor base =
   if factor <= 0.0 || factor > 1.0 then invalid_arg "Adversary.handicap: factor in (0,1]";
   {

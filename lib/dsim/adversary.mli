@@ -43,6 +43,16 @@ val partial_sync :
     probability [pre_step_prob]. From [gst] on: delays uniform in
     [1, delta], every live process steps every tick. *)
 
+val dls : ?delta:int -> ?phi:int -> unit -> t
+(** DLS-style parametric adversary: message delays uniform in [1, delta]
+    and steps offered with probability 1/2, under a weak-fairness backstop
+    of [phi] (every live process takes a step at least every [phi] ticks —
+    the relative-speed bound). With [delta = 1] and [phi = 1] this is the
+    synchronous model. The decision space of this adversary — each delay a
+    choice in [1, delta], each unforced step offer a boolean — is what the
+    bounded exhaustive explorer in lib/mc enumerates through {!drive}.
+    Raises [Invalid_argument] unless [delta >= 1] and [phi >= 1]. *)
+
 val handicap : slow:Types.pid list -> factor:float -> t -> t
 (** Derive an adversary where the listed processes are offered steps only
     with probability [factor] of the base schedule (their weak-fairness
@@ -83,6 +93,29 @@ val replay : len:int -> overrides:(int * decision) list -> t -> t
     recorded decision list reproduces the recorded run exactly; removing
     overrides neutralises the corresponding adversarial choices. Raises
     [Invalid_argument] on an override position outside [0, len). *)
+
+(** {1 Driven adversaries}
+
+    The model-checking explorer needs to {e choose} every adversary
+    decision rather than record or override a random one. [drive] hands
+    each query — with its tick and the pids involved — to a controller
+    callback that returns the decision. *)
+
+type query =
+  | Delay_q of { now : Types.time; src : Types.pid; dst : Types.pid }
+      (** A delivery-delay choice for a message sent at [now]. *)
+  | Step_q of { now : Types.time; pid : Types.pid }
+      (** A step-offer choice for [pid] at tick [now]. *)
+
+val drive : (query -> decision) -> t -> t
+(** [drive controller base] answers every adversary query with
+    [controller q]. The base adversary's decision is computed (and its
+    PRNG draws burnt) {e first}, exactly as {!record} does — so a driven
+    run consumes the same engine PRNG stream as a {!replay} of the chosen
+    decisions, and a counterexample found by the explorer replays
+    bit-identically from an ordinary full-override decision table. Raises
+    [Invalid_argument] when the controller returns a decision of the wrong
+    kind for the query, or a delay [< 1]. *)
 
 val bursty :
   ?gst:Types.time ->

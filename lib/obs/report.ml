@@ -138,6 +138,38 @@ let validate_simlint j =
   | Some (Json.Arr _) -> ()
   | _ -> failwith "Report.read_simlint: missing stale_baseline array"
 
+(* ------------------------------------------------------------------ *)
+(* Model-checking reports: one document per exhaustive [dinersim check]
+   run, written by lib/mc. As with simlint, Obs validates the shape only
+   — obs cannot depend on the explorer — so `dinersim report` can vet all
+   four schema families. *)
+
+let mc_schema_version = "dinersim-mc/1"
+
+let validate_mc j =
+  (match Json.find j "schema" with
+  | Some (Json.Str s) when s = mc_schema_version -> ()
+  | Some (Json.Str s) -> failwith (Printf.sprintf "Report.read_mc: unknown schema %S" s)
+  | _ -> failwith "Report.read_mc: missing schema tag");
+  List.iter
+    (fun k ->
+      match Json.find j k with
+      | Some (Json.Int _) -> ()
+      | _ -> failwith (Printf.sprintf "Report.read_mc: missing %s counter" k))
+    [ "crash_schedules"; "schedules"; "pruned"; "violations"; "max_decisions" ];
+  (match Json.find j "truncated" with
+  | Some (Json.Bool _) -> ()
+  | _ -> failwith "Report.read_mc: missing truncated flag");
+  match Json.find j "counterexamples" with
+  | Some (Json.Arr cexs) ->
+      List.iter
+        (fun c ->
+          match (Json.find c "digest", Json.find c "repro") with
+          | Some (Json.Str _), Some (Json.Obj _) -> ()
+          | _ -> failwith "Report.read_mc: malformed counterexample entry")
+        cexs
+  | _ -> failwith "Report.read_mc: missing counterexamples array"
+
 let slurp ~path =
   let ic = open_in path in
   let content =
@@ -162,6 +194,11 @@ let read_simlint ~path =
   validate_simlint j;
   j
 
+let read_mc ~path =
+  let j = slurp ~path in
+  validate_mc j;
+  j
+
 let read_any ~path =
   let j = slurp ~path in
   match Json.find j "schema" with
@@ -171,6 +208,9 @@ let read_any ~path =
   | Some (Json.Str s) when s = simlint_schema_version ->
       validate_simlint j;
       `Simlint j
+  | Some (Json.Str s) when s = mc_schema_version ->
+      validate_mc j;
+      `Mc j
   | _ ->
       validate j;
       `Run j
@@ -327,3 +367,33 @@ let pp_simlint_summary fmt j =
   in
   if stale > 0 then Format.fprintf fmt "  stale baseline entries: %d@." stale;
   Format.fprintf fmt "  verdict: %s@." (if int "open" = 0 && stale = 0 then "ok" else "FAIL")
+
+let pp_mc_summary fmt j =
+  let int k = match Json.find j k with Some (Json.Int n) -> n | _ -> 0 in
+  let truncated =
+    match Json.find j "truncated" with Some (Json.Bool b) -> b | _ -> false
+  in
+  Format.fprintf fmt
+    "mc: %d schedule(s) over %d crash schedule(s), %d branch(es) pruned, max %d decision(s)%s@."
+    (int "schedules") (int "crash_schedules") (int "pruned") (int "max_decisions")
+    (if truncated then " [TRUNCATED]" else "");
+  (match Json.find j "counterexamples" with
+  | Some (Json.Arr cexs) ->
+      List.iter
+        (fun c ->
+          let str k = match Json.find c k with Some (Json.Str s) -> s | _ -> "?" in
+          let idx = match Json.find c "schedule_index" with Some (Json.Int n) -> n | _ -> -1 in
+          let failed =
+            match Json.find c "failed" with
+            | Some (Json.Arr l) -> List.filter_map (function Json.Str s -> Some s | _ -> None) l
+            | _ -> []
+          in
+          Format.fprintf fmt "  schedule %d: %s (repro %s)@." idx
+            (String.concat ", " failed) (str "digest"))
+        cexs
+  | _ -> ());
+  pp_metrics_latencies fmt j;
+  Format.fprintf fmt "  verdict: %s@."
+    (if int "violations" = 0 && not truncated then "ok"
+     else if int "violations" = 0 then "ok (truncated)"
+     else "FAIL")

@@ -97,9 +97,10 @@ val read_campaign : path:string -> Json.t
 (** Parse and validate a campaign summary: schema tag, run/violation
     counters, entries array. Raises [Failure] on invalid input. *)
 
-val read_any : path:string -> [ `Run of Json.t | `Campaign of Json.t | `Simlint of Json.t ]
-(** Parse any of the three document kinds, dispatching on the schema tag
-    (documents without a campaign or simlint tag are validated as run
+val read_any :
+  path:string -> [ `Run of Json.t | `Campaign of Json.t | `Simlint of Json.t | `Mc of Json.t ]
+(** Parse any of the four document kinds, dispatching on the schema tag
+    (documents without a campaign, simlint or mc tag are validated as run
     reports). Raises [Failure] on invalid input. *)
 
 val pp_campaign_summary : Format.formatter -> Json.t -> unit
@@ -126,3 +127,24 @@ val read_simlint : path:string -> Json.t
 val pp_simlint_summary : Format.formatter -> Json.t -> unit
 (** Short human rendering: counters, each open finding, and the gate
     verdict (ok iff zero open findings and no stale baseline entry). *)
+
+(** {1 Model-checking reports}
+
+    The fourth document kind, schema ["dinersim-mc/1"], written by the
+    bounded exhaustive explorer in [lib/mc] ([dinersim check]). Obs
+    validates the shape only (schedule/prune/violation counters, the
+    truncation flag, and a counterexamples array whose entries carry a
+    digest and an embedded ["fuzz-repro/1"] document) so reports can be
+    vetted without linking the explorer. *)
+
+val mc_schema_version : string
+
+val validate_mc : Json.t -> unit
+(** Raises [Failure] with a reason on malformed input. *)
+
+val read_mc : path:string -> Json.t
+(** Parse and validate an mc report. Raises [Failure] on invalid input. *)
+
+val pp_mc_summary : Format.formatter -> Json.t -> unit
+(** Short human rendering: schedule/prune counters, one line per
+    counterexample, and the verdict (ok iff zero violations). *)

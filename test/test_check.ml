@@ -292,6 +292,7 @@ let bump_adversary = function
   | Check.Config.Async a -> Check.Config.Async { a with max_delay = a.max_delay + 3 }
   | Check.Config.Partial p -> Check.Config.Partial { p with gst = p.gst + 500 }
   | Check.Config.Bursty b -> Check.Config.Bursty { b with storm_delay = b.storm_delay + 3 }
+  | Check.Config.Dls d -> Check.Config.Dls { d with delta = d.delta + 3 }
 
 let test_coverage_knob_sensitivity () =
   let registry = Check.Runner.default_registry in
@@ -336,7 +337,12 @@ let test_corpus_coverage_digest_pinned () =
 (* ------------------------------------------------------------------ *)
 (* Corpus *)
 
-let family_seed = function `Sync -> 0xC0001L | `Async -> 0xC0002L | `Partial -> 0xC0003L | `Bursty -> 0xC0004L
+let family_seed = function
+  | `Sync -> 0xC0001L
+  | `Async -> 0xC0002L
+  | `Partial -> 0xC0003L
+  | `Bursty -> 0xC0004L
+  | `Dls -> 0xC0005L
 
 let test_family_corpus_update () =
   match update_dir with

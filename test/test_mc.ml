@@ -1,0 +1,284 @@
+(* Bounded exhaustive model checking (lib/mc): cross-validation against
+   the random fuzzer, partial-order-reduction soundness, counterexample
+   replay, and jobs-invariance of the canonical report.
+
+   Every pinned integer below (schedule counts, prune counts) is a pure
+   function of the explored config and the engine — like the digest pins
+   in test_check.ml, they only move when the engine's query pattern, the
+   deployed algorithms or the explorer's enumeration order change.
+   Regenerate by printing the stats of a run and update the constant. *)
+
+let registry = Broken_dining.registry
+
+let mc_config ?(algo = "wf") ?(horizon = 12) ?(delta = 2) ?(phi = 1) ?(eat_ticks = 1)
+    ?(crashes = []) () =
+  {
+    Check.Config.algo;
+    topology = Check.Config.Pair;
+    adversary = Check.Config.Dls { delta; phi };
+    crashes;
+    handicap = None;
+    horizon;
+    eat_ticks;
+    seed = 0x5EEDL;
+  }
+
+let explore ?(por = true) ?(jobs = 1) ?(collect = false) ?(crash_budget = 0) base =
+  Mc.Explore.run ~registry
+    {
+      (Mc.Explore.default ~base) with
+      Mc.Explore.por;
+      jobs;
+      collect_schedules = collect;
+      crash_budget;
+      max_schedules = 500_000;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration basics *)
+
+(* delta = 1 and phi = 1 leave the adversary no choices at all: the tree
+   is a single (synchronous) schedule. *)
+let test_synchronous_is_single_schedule () =
+  let r = explore (mc_config ~delta:1 ~phi:1 ()) in
+  Alcotest.(check int) "one schedule" 1 r.Mc.Explore.stats.Mc.Explore.schedules;
+  Alcotest.(check int) "no violations" 0 r.Mc.Explore.stats.Mc.Explore.violation_count;
+  Alcotest.(check int) "nothing pruned" 0 r.Mc.Explore.stats.Mc.Explore.pruned
+
+(* The flagship green instance: the real WF-◇WX diner on a pair, delays
+   in {1, 2}, every step forced — 256 delay schedules, all of which keep
+   the Section 4 properties. *)
+let pinned_wf_green_schedules = 256
+
+let test_wf_green_instance () =
+  let r = explore (mc_config ()) in
+  let s = r.Mc.Explore.stats in
+  Alcotest.(check int) "schedule count pinned" pinned_wf_green_schedules
+    s.Mc.Explore.schedules;
+  Alcotest.(check int) "no violations" 0 s.Mc.Explore.violation_count;
+  Alcotest.(check bool) "not truncated" false s.Mc.Explore.truncated
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: the exhaustive schedule set (no reduction) is a
+   superset of any random DLS tape for the same instance. *)
+
+let pinned_step_instance_schedules = 20736
+
+let test_exhaustive_superset_of_random_tapes () =
+  let base = mc_config ~algo:"hygienic" ~horizon:10 ~delta:1 ~phi:2 () in
+  let r = explore ~por:false ~collect:true base in
+  Alcotest.(check int) "schedule count pinned" pinned_step_instance_schedules
+    r.Mc.Explore.stats.Mc.Explore.schedules;
+  Alcotest.(check int) "collected every schedule" pinned_step_instance_schedules
+    (List.length r.Mc.Explore.schedules);
+  let seen = Hashtbl.create 8192 in
+  List.iter (fun d -> Hashtbl.replace seen (Mc.Explore.schedule_key d) ()) r.Mc.Explore.schedules;
+  for i = 0 to 49 do
+    let rng = Dsim.Prng.derive 0xF00DL ~index:i in
+    let tape = Mc.Explore.random_schedule ~registry base rng in
+    Alcotest.(check bool)
+      (Printf.sprintf "random tape %d is an enumerated schedule" i)
+      true
+      (Hashtbl.mem seen (Mc.Explore.schedule_key tape))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction: pinned reduction counts, and the reduced
+   exploration reaches the same verdicts — a violation exists iff the
+   full exploration finds one, for the same set of failed properties. *)
+
+let pinned_por_instance = ("hygienic", 8, 1, 3)
+let pinned_full_schedules = 22201
+let pinned_full_violations = 22041
+let pinned_por_schedules = 4530
+let pinned_por_pruned = 1048
+let pinned_por_violations = 4454
+
+let failed_name_set (r : Mc.Explore.result) =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (v : Mc.Explore.violation) ->
+         List.filter_map
+           (fun (c : Obs.Report.check) ->
+             if c.Obs.Report.holds then None else Some c.Obs.Report.name)
+           v.Mc.Explore.repro.Check.Repro.checks)
+       r.Mc.Explore.violations)
+
+let test_por_counts_pinned_and_verdicts_equal () =
+  let algo, horizon, delta, phi = pinned_por_instance in
+  let base = mc_config ~algo ~horizon ~delta ~phi () in
+  let full = explore ~por:false base in
+  let por = explore ~por:true base in
+  Alcotest.(check int) "full schedule count pinned" pinned_full_schedules
+    full.Mc.Explore.stats.Mc.Explore.schedules;
+  Alcotest.(check int) "full violation count pinned" pinned_full_violations
+    full.Mc.Explore.stats.Mc.Explore.violation_count;
+  Alcotest.(check int) "nothing pruned without POR" 0
+    full.Mc.Explore.stats.Mc.Explore.pruned;
+  Alcotest.(check int) "reduced schedule count pinned" pinned_por_schedules
+    por.Mc.Explore.stats.Mc.Explore.schedules;
+  Alcotest.(check int) "pruned branch count pinned" pinned_por_pruned
+    por.Mc.Explore.stats.Mc.Explore.pruned;
+  Alcotest.(check int) "reduced violation count pinned" pinned_por_violations
+    por.Mc.Explore.stats.Mc.Explore.violation_count;
+  Alcotest.(check (list string)) "reduction preserves the failed-property set"
+    (failed_name_set full) (failed_name_set por)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded broken variant: wf-dropfork starves on the very first (all-
+   friendliest) schedule — the bounded DFS counterexample is already
+   minimal — and the emitted fuzz-repro/1 artifact replays
+   bit-identically through the ordinary replay machinery. *)
+
+let test_dropfork_counterexample_and_replay () =
+  let base = mc_config ~algo:Broken_dining.algo () in
+  let r = explore base in
+  let s = r.Mc.Explore.stats in
+  Alcotest.(check int) "same schedule count as the green instance"
+    pinned_wf_green_schedules s.Mc.Explore.schedules;
+  Alcotest.(check int) "every schedule starves" pinned_wf_green_schedules
+    s.Mc.Explore.violation_count;
+  let first =
+    match r.Mc.Explore.violations with
+    | v :: _ -> v
+    | [] -> Alcotest.fail "no counterexample found"
+  in
+  Alcotest.(check int) "first counterexample is the first schedule" 0
+    first.Mc.Explore.schedule_index;
+  let repro = first.Mc.Explore.repro in
+  Alcotest.(check bool) "wait_freedom is among the failures" true
+    (List.exists
+       (fun (c : Obs.Report.check) ->
+         (not c.Obs.Report.holds) && String.equal c.Obs.Report.name "wait_freedom")
+       repro.Check.Repro.checks);
+  (* Artifact round-trip: save validates the digest on load, and replay
+     re-executes the run and compares every recorded verdict. *)
+  let path = Filename.temp_file "mc-cex" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Check.Repro.save ~path repro;
+      let loaded = Check.Repro.load ~path in
+      Alcotest.(check string) "digest survives the round trip" (Check.Repro.digest repro)
+        (Check.Repro.digest loaded);
+      match Check.Repro.replay ~registry loaded with
+      | Ok _ -> ()
+      | Error mismatches ->
+          Alcotest.fail
+            ("counterexample did not replay bit-identically: " ^ String.concat "; " mismatches));
+  (* Determinism: an independent exploration produces the same artifact. *)
+  let again = explore base in
+  match again.Mc.Explore.violations with
+  | v :: _ ->
+      Alcotest.(check string) "counterexample digest is deterministic"
+        (Check.Repro.digest repro)
+        (Check.Repro.digest v.Mc.Explore.repro)
+  | [] -> Alcotest.fail "second exploration found no counterexample"
+
+(* ------------------------------------------------------------------ *)
+(* Crash-budget enumeration *)
+
+let test_crash_schedule_enumeration () =
+  let base = mc_config ~horizon:10 () in
+  let mc =
+    { (Mc.Explore.default ~base) with Mc.Explore.crash_budget = 1; crash_grid = 4 }
+  in
+  Alcotest.(check (list (list (pair int int))))
+    "crash schedules enumerate pid/tick grid in canonical order"
+    [ []; [ (0, 4) ]; [ (0, 8) ]; [ (1, 4) ]; [ (1, 8) ] ]
+    (Mc.Explore.crash_schedules mc);
+  let r = Mc.Explore.run ~registry mc in
+  Alcotest.(check int) "all five crash schedules explored" 5
+    r.Mc.Explore.stats.Mc.Explore.crash_schedules;
+  (* Each violation names the crash schedule it came from. *)
+  List.iter
+    (fun (v : Mc.Explore.violation) ->
+      let within = v.Mc.Explore.crash_index >= 0 && v.Mc.Explore.crash_index < 5 in
+      Alcotest.(check bool) "violation crash index in range" true within)
+    r.Mc.Explore.violations
+
+(* ------------------------------------------------------------------ *)
+(* Reports: canonical body, schema dispatch, jobs-invariance *)
+
+let stripped_report ~jobs base =
+  let metrics = Obs.Metrics.create () in
+  let mc =
+    {
+      (Mc.Explore.default ~base) with
+      Mc.Explore.por = true;
+      jobs;
+      max_schedules = 500_000;
+    }
+  in
+  let result = Mc.Explore.run ~metrics ~registry mc in
+  let report = Mc.Report.make ~config:mc ~result ~metrics () in
+  Obs.Json.to_string_pretty (Obs.Report.strip_wall_clock report)
+
+let test_report_jobs_invariance () =
+  let algo, horizon, delta, phi = pinned_por_instance in
+  let base = mc_config ~algo ~horizon ~delta ~phi () in
+  let one = stripped_report ~jobs:1 base in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d report matches jobs=1" jobs)
+        one
+        (stripped_report ~jobs base))
+    [ 2; 7 ]
+
+let test_report_schema_round_trip () =
+  let base = mc_config ~algo:Broken_dining.algo ~horizon:10 () in
+  let mc = Mc.Explore.default ~base in
+  let result = Mc.Explore.run ~registry mc in
+  let report = Mc.Report.make ~config:mc ~result () in
+  let path = Filename.temp_file "mc-report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Report.write ~path report;
+      Obs.Report.validate_mc (Obs.Report.read_mc ~path);
+      (match Obs.Report.read_any ~path with
+      | `Mc j ->
+          Alcotest.(check string) "read_any dispatches to the mc validator"
+            (Obs.Json.to_string report) (Obs.Json.to_string j)
+      | `Run _ | `Campaign _ | `Simlint _ -> Alcotest.fail "mc report misdispatched");
+      (* The human summary renders without raising. *)
+      let j = Obs.Report.read_mc ~path in
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Obs.Report.pp_mc_summary fmt j;
+      Format.pp_print_flush fmt ();
+      Alcotest.(check bool) "summary mentions the schedule count" true
+        (Buffer.length buf > 0))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "synchronous instance has one schedule" `Quick
+            test_synchronous_is_single_schedule;
+          Alcotest.test_case "wf green instance is exhaustively clean" `Quick
+            test_wf_green_instance;
+          Alcotest.test_case "exhaustive set covers random tapes" `Slow
+            test_exhaustive_superset_of_random_tapes;
+          Alcotest.test_case "POR counts pinned, verdicts preserved" `Slow
+            test_por_counts_pinned_and_verdicts_equal;
+          Alcotest.test_case "crash schedules enumerate canonically" `Slow
+            test_crash_schedule_enumeration;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "dropfork caught, repro replays bit-identically" `Quick
+            test_dropfork_counterexample_and_replay;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "canonical report is jobs-invariant" `Slow
+            test_report_jobs_invariance;
+          Alcotest.test_case "dinersim-mc/1 schema round-trips" `Quick
+            test_report_schema_round_trip;
+        ] );
+    ]

@@ -648,7 +648,7 @@ let test_simlint_report_roundtrip () =
       | `Simlint j ->
           check_str "canonical text round-trips" (Obs.Json.to_string doc)
             (Obs.Json.to_string j)
-      | `Run _ | `Campaign _ -> Alcotest.fail "simlint report misdispatched");
+      | `Run _ | `Campaign _ | `Mc _ -> Alcotest.fail "simlint report misdispatched");
       let j = Obs.Report.read_simlint ~path in
       check_str "read_simlint agrees" (Obs.Json.to_string doc) (Obs.Json.to_string j);
       List.iter

@@ -211,8 +211,12 @@ let test_d011_hotpath_chain () =
   let result = run_fixtures () in
   Alcotest.(check (list (triple string string int)))
     "allocation reached from the annotated root flagged; cold path clean"
-    [ ("D011", "fixtures/d011_hotpath.ml", 6) ]
-    (List.filter (fun (r, _, _) -> r = "D011") (opens result));
+    [
+      ("D011", "fixtures/d011_dfs.ml", 8);
+      ("D011", "fixtures/d011_dfs.ml", 8);
+      ("D011", "fixtures/d011_hotpath.ml", 6);
+    ]
+    (List.sort compare (List.filter (fun (r, _, _) -> r = "D011") (opens result)));
   let f, _ = Option.get (disposition result ("D011", "fixtures/d011_hotpath.ml", 6)) in
   check "message carries the hot caller chain" true
     (contains ~needle:"chain D011_hotpath.hot_tick -> D011_hotpath.build_pair" f.Finding.msg);
@@ -222,6 +226,29 @@ let test_d011_hotpath_chain () =
     (match disposition result ("D011", "fixtures/d011_hotpath.ml", 10) with
     | Some (_, s) -> s = Finding.Suppressed
     | None -> false)
+
+(* The shape a model-checking explorer hot loop takes: a DFS driver
+   popping a worklist by pattern matching (allocation-free) but pushing
+   through a helper that conses. The cons must be attributed to the
+   annotated driver through the call chain; the unreached fold stays
+   clean. *)
+let test_d011_dfs_loop () =
+  let result = run_fixtures () in
+  (* [state :: stack] parses as the cons constructor applied to its argument
+     tuple, so the one push expression classifies as two sites. *)
+  Alcotest.(check (list int))
+    "only the frontier push is flagged; match-pop and unreached fold clean" [ 8; 8 ]
+    (rule_lines "D011" (in_file "d011_dfs.ml" result));
+  let cons =
+    List.find_map
+      (fun ((f : Finding.t), _) ->
+        if f.Finding.sym = Some "D011_dfs.check_states->D011_dfs.push_frontier:cons" then Some f
+        else None)
+      result.Driver.findings
+  in
+  let f = Option.get cons in
+  check "cons site carries the DFS driver chain" true
+    (contains ~needle:"chain D011_dfs.check_states -> D011_dfs.push_frontier" f.Finding.msg)
 
 let test_d012_escapes () =
   let result = run_fixtures () in
@@ -502,6 +529,7 @@ let () =
       ( "hotpath",
         [
           Alcotest.test_case "D011 hot-path allocation chain" `Quick test_d011_hotpath_chain;
+          Alcotest.test_case "D011 DFS worklist loop" `Quick test_d011_dfs_loop;
           Alcotest.test_case "D012 domain escapes and RMW" `Quick test_d012_escapes;
           Alcotest.test_case "D013 quadratic accumulation" `Quick test_d013_quadratic;
           Alcotest.test_case "catalog fully covered by fixtures" `Quick test_catalog_coverage;

@@ -1,0 +1,16 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D011: DFS worklist loop. The cons in [push_frontier] rebuilds the
+   frontier on every visited state and is reached from the annotated
+   [check_states] root, so it must carry the hot-caller chain. Popping by
+   pattern matching in the driver itself allocates nothing and the
+   non-recursive [sum_frontier] is not reachable from the root, so both
+   stay clean. *)
+let push_frontier stack state = state :: stack
+
+(* simlint: hotpath *)
+let rec check_states visited stack =
+  match stack with
+  | [] -> visited
+  | s :: rest -> check_states (visited + s) (push_frontier rest (s * 2))
+
+let sum_frontier stack = List.fold_left ( + ) 0 stack
