@@ -31,12 +31,13 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
-# Determinism & simulation-hygiene gate (rules D001-D010; see DESIGN.md).
+# Determinism & simulation-hygiene gate (rules D001-D018; see DESIGN.md).
 # Exits non-zero on any finding that is neither suppressed in-source nor
 # listed in tools/simlint/baseline.json, or when a baseline entry is
 # stale. Also emits the SARIF 2.1.0 form for CI code-scanning upload.
+# Optionally restrict to a rule subset: make lint RULES=D014,D016
 lint: build
-	dune exec tools/simlint/main.exe -- --root . --sarif _build/simlint.sarif
+	dune exec tools/simlint/main.exe -- --root . --sarif _build/simlint.sarif $(if $(RULES),--only $(RULES))
 
 # Re-record tools/simlint/baseline.json from the current findings
 # (deterministic output; review the diff before committing).

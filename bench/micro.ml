@@ -76,6 +76,7 @@ let bench_deliver_backlog () =
                      ~guard:(fun () -> true)
                      ~body:(fun () ->
                        let dst = Prng.int ctx.Context.rng ~bound:n in
+                       (* simlint: allow D014 — flood bench: the sink is deliberately handler-less; the experiment measures raw delivery cost, and a receiver would become part of the measurement *)
                        ctx.Context.send ~dst ~tag:"flood" Msg.Unit_msg);
                  ]
                ())

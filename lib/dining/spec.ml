@@ -1,5 +1,23 @@
 open Dsim
 
+(* The paper's Section-4 diner state machine: a single 4-cycle. Clients
+   drive Thinking->Hungry (hungry ()) and Eating->Exiting (exit_eating ());
+   algorithms drive Hungry->Eating and Exiting->Thinking. Exported as data
+   so the runtime monitors and the simlint D016 phase-transition rule share
+   one source of truth. *)
+let legal_transitions =
+  [
+    (Types.Thinking, Types.Hungry);
+    (Types.Hungry, Types.Eating);
+    (Types.Eating, Types.Exiting);
+    (Types.Exiting, Types.Thinking);
+  ]
+
+let legal_transition ~from_ ~to_ =
+  List.exists
+    (fun (a, b) -> Types.phase_equal a from_ && Types.phase_equal b to_)
+    legal_transitions
+
 type handle = {
   instance : string;
   self : Types.pid;

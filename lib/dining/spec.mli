@@ -6,6 +6,15 @@
     critical section) and exiting -> thinking (when relinquishment
     completes, which the spec requires to take finite time). *)
 
+val legal_transitions : (Dsim.Types.phase * Dsim.Types.phase) list
+(** The paper's Section-4 state machine as data: the exact set of legal
+    diner transitions, [Thinking -> Hungry -> Eating -> Exiting ->
+    Thinking]. Runtime monitors and the simlint D016 phase-legality rule
+    both consume this list, so there is one source of truth. *)
+
+val legal_transition : from_:Dsim.Types.phase -> to_:Dsim.Types.phase -> bool
+(** [legal_transition ~from_ ~to_] is membership in {!legal_transitions}. *)
+
 type handle = {
   instance : string;
   self : Dsim.Types.pid;

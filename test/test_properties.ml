@@ -484,6 +484,62 @@ let prop_detection_time_is_last_onset =
       = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Phase naming and the exported transition relation *)
+
+let phase_gen = QCheck2.Gen.oneofl [ Types.Thinking; Types.Hungry; Types.Eating; Types.Exiting ]
+
+let prop_phase_string_roundtrip =
+  QCheck2.Test.make ~name:"phase: of_string inverts to_string" ~count:100 phase_gen (fun p ->
+      Types.phase_of_string (Types.phase_to_string p) = Some p)
+
+let prop_phase_of_string_total =
+  (* Strings outside the four phase names map to None — of_string never
+     guesses, so trace parsing fails loudly on a corrupt phase label. *)
+  QCheck2.Test.make ~name:"phase: of_string rejects non-phase strings" ~count:200
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 12))
+    (fun s ->
+      match Types.phase_of_string s with
+      | Some p -> Types.phase_to_string p = s
+      | None -> not (List.mem s [ "thinking"; "hungry"; "eating"; "exiting" ]))
+
+(* The relation [Dining.Spec] exports as data is exactly the paper's
+   Section-4 diner state machine: the single 4-cycle
+   thinking -> hungry -> eating -> exiting -> thinking, nothing else. *)
+let test_spec_transition_relation () =
+  Alcotest.(check int) "four edges" 4 (List.length Dining.Spec.legal_transitions);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s->%s is legal" (Types.phase_to_string a) (Types.phase_to_string b))
+        true
+        (List.mem (a, b) Dining.Spec.legal_transitions))
+    [
+      (Types.Thinking, Types.Hungry);
+      (Types.Hungry, Types.Eating);
+      (Types.Eating, Types.Exiting);
+      (Types.Exiting, Types.Thinking);
+    ];
+  let all = [ Types.Thinking; Types.Hungry; Types.Eating; Types.Exiting ] in
+  List.iter
+    (fun from_ ->
+      List.iter
+        (fun to_ ->
+          let expected =
+            match (from_, to_) with
+            | Types.Thinking, Types.Hungry
+            | Types.Hungry, Types.Eating
+            | Types.Eating, Types.Exiting
+            | Types.Exiting, Types.Thinking ->
+                true
+            | _ -> false
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "legal_transition %s %s" (Types.phase_to_string from_)
+               (Types.phase_to_string to_))
+            expected
+            (Dining.Spec.legal_transition ~from_ ~to_))
+        all)
+    all
 
 let () =
   Alcotest.run "properties"
@@ -491,6 +547,10 @@ let () =
       ( "prng",
         List.map to_alcotest
           [ prop_prng_bounds; prop_prng_shuffle_multiset; prop_prng_uniformity ] );
+      ( "spec",
+        List.map to_alcotest [ prop_phase_string_roundtrip; prop_phase_of_string_total ]
+        @ [ Alcotest.test_case "transition relation is the paper's 4-cycle" `Quick
+              test_spec_transition_relation ] );
       ("trace", List.map to_alcotest [ prop_timeline_legal; prop_suspected_at_consistent ]);
       ( "dining",
         List.map to_alcotest

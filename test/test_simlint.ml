@@ -48,7 +48,7 @@ let test_every_rule_fires () =
     (fun rule -> check (rule ^ " fires on the corpus") true (List.mem rule rules))
     [
       "D001"; "D002"; "D003"; "D004"; "D005"; "D006"; "D007"; "D008"; "D009"; "D010"; "D011";
-      "D012"; "D013";
+      "D012"; "D013"; "D014"; "D015"; "D016"; "D017"; "D018";
     ];
   check "no parse failures in fixtures" false (List.mem "E000" rules)
 
@@ -276,6 +276,152 @@ let test_d013_quadratic () =
     | Some (_, s) -> s = Finding.Suppressed
     | None -> false)
 
+(* ------------------------------------------------------------------ *)
+(* D014-D018: protocol conformance. *)
+
+let test_d014_unhandled () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "exactly the handler-less fork message flagged, at its construction site"
+    [ ("D014", "fixtures/d014_unhandled.ml", 13) ]
+    (List.filter (fun (r, _, _) -> r = "D014") (opens result));
+  let f, _ = Option.get (disposition result ("D014", "fixtures/d014_unhandled.ml", 13)) in
+  check "message names the declaration site" true
+    (contains ~needle:"(declared fixtures/d014_unhandled.ml:7)" f.Finding.msg);
+  check "message names the constructing node" true
+    (contains ~needle:"constructed in D014_unhandled.pass_fork" f.Finding.msg);
+  check "sym keys on the constructing node and the constructor" true
+    (f.Finding.sym = Some "D014_unhandled.pass_fork->Mf_fork_pass:unhandled");
+  check "justified handler-less flood suppressed, not open" true
+    (match disposition result ("D014", "fixtures/d014_suppressed.ml", 9) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_d015_catchall_drop () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "literal catch-all in handler position flagged; named wildcard clean"
+    [ ("D015", "fixtures/d015_catchall.ml", 11) ]
+    (List.filter (fun (r, _, _) -> r = "D015") (opens result));
+  let f, _ = Option.get (disposition result ("D015", "fixtures/d015_catchall.ml", 11)) in
+  check "message lists the constructors the arms above handle" true
+    (contains ~needle:"arms above handle Pf_ping" f.Finding.msg);
+  check "justified drop suppressed, not open" true
+    (match disposition result ("D015", "fixtures/d015_suppressed.ml", 10) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_d016_phase_legality () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "illegal hop flagged; legal hop and unanchored write clean"
+    [ ("D016", "fixtures/d016_phase.ml", 10) ]
+    (List.filter (fun (r, _, _) -> r = "D016") (opens result));
+  let f, _ = Option.get (disposition result ("D016", "fixtures/d016_phase.ml", 10)) in
+  check "message names the illegal hop and the relation" true
+    (contains ~needle:"phase write Eating -> Hungry in D016_phase.regress" f.Finding.msg
+    && contains ~needle:"Thinking->Hungry, Hungry->Eating, Eating->Exiting, Exiting->Thinking"
+         f.Finding.msg);
+  check "sym keys on node and hop" true
+    (f.Finding.sym = Some "D016_phase.regress:Eating->Hungry:phase");
+  check "justified recovery hop suppressed, not open" true
+    (match disposition result ("D016", "fixtures/d016_suppressed.ml", 7) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_d017_fork_conservation () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "uncleared send flagged; clearing sender and storing handler clean"
+    [ ("D017", "fixtures/d017_fork.ml", 9) ]
+    (List.filter (fun (r, _, _) -> r = "D017") (opens result));
+  let f, _ = Option.get (disposition result ("D017", "fixtures/d017_fork.ml", 9)) in
+  check "message names the duplicating node and token" true
+    (contains ~needle:"D017_fork.duplicate sends fork token `Pf_fork`" f.Finding.msg);
+  check "sym keys on node and token" true (f.Finding.sym = Some "D017_fork.duplicate:Pf_fork:dup");
+  check "justified monitor-tap leak suppressed, not open" true
+    (match disposition result ("D017", "fixtures/d017_suppressed.ml", 17) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+let test_d018_worker_prng () =
+  let result = run_fixtures () in
+  Alcotest.(check (list (triple string string int)))
+    "in-worker PRNG creation flagged; Prng.derive form clean"
+    [ ("D018", "fixtures/d018_prng.ml", 8) ]
+    (List.filter (fun (r, _, _) -> r = "D018") (opens result));
+  let f, _ = Option.get (disposition result ("D018", "fixtures/d018_prng.ml", 8)) in
+  check "message names the dispatch and the sanctioned spelling" true
+    (contains ~needle:"worker closure passed to Pool.map calls `Prng.create`" f.Finding.msg
+    && contains ~needle:"Prng.derive root_seed ~index" f.Finding.msg);
+  check "justified shared-stream capture suppressed, not open" true
+    (match disposition result ("D018", "fixtures/d018_suppressed.ml", 8) with
+    | Some (_, s) -> s = Finding.Suppressed
+    | None -> false)
+
+(* The --only rule filter: findings and baseline entries outside the
+   selection vanish entirely (no false stale reports), open findings of the
+   selected rules survive. *)
+let test_only_filter () =
+  let result =
+    Driver.run ~only:[ "D014"; "D016" ] ~dirs:[ "fixtures" ] ~force_lib:true ~root:fixtures_root
+      ()
+  in
+  let rules =
+    List.sort_uniq compare
+      (List.map (fun ((f : Finding.t), _) -> f.Finding.rule) result.Driver.findings)
+  in
+  Alcotest.(check (list string))
+    "only the selected rules survive, open or suppressed" [ "D014"; "D016" ] rules;
+  Alcotest.(check (list (triple string string int)))
+    "open findings are exactly the two firing fixtures"
+    [ ("D014", "fixtures/d014_unhandled.ml", 13); ("D016", "fixtures/d016_phase.ml", 10) ]
+    (List.sort compare (opens result));
+  let baseline =
+    [ { Baseline.file = "fixtures/taint_c.ml"; rule = "D010"; line = 5; sym = None } ]
+  in
+  let result =
+    Driver.run ~baseline ~only:[ "D014" ] ~dirs:[ "fixtures" ] ~force_lib:true
+      ~root:fixtures_root ()
+  in
+  Alcotest.(check int)
+    "baseline entries for deselected rules are filtered, not stale" 0
+    (List.length result.Driver.stale_baseline)
+
+(* Callgraph resolution through [include M] and functor bodies, which the
+   protocol passes depend on: a handler arm inside a functor must count as
+   handling, and a bare reference to an included binding must resolve. *)
+let test_callgraph_include_functor () =
+  let rel = "fixtures/cg_functor.ml" in
+  let path = Filename.concat fixtures_root rel in
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let str = Driver.parse_structure ~path text in
+  let g = Callgraph.build [ { Callgraph.rel; lib = true; wallclock_ok = false; str } ] in
+  check "functor-body let registers under the functor's name" true
+    (Callgraph.find_node g "Cg_functor.Make.consume" <> None);
+  let edge caller callee =
+    List.exists
+      (fun (e : Callgraph.edge) -> e.Callgraph.caller = caller && e.Callgraph.callee = callee)
+      g.Callgraph.edges
+  in
+  check "include-as-open resolves the bare reference" true
+    (edge "Cg_functor.emit" "Cg_functor.Impl.weight");
+  check "functor body resolves through the include too" true
+    (edge "Cg_functor.Make.consume" "Cg_functor.Impl.weight");
+  (* And the payoff: D014 stays silent on [Cg_probe], whose only handler arm
+     lives inside the functor body. *)
+  let result = run_fixtures () in
+  check "no D014 for the functor-handled constructor" true
+    (List.for_all
+       (fun ((f : Finding.t), _) ->
+         not (f.Finding.rule = "D014" && contains ~needle:"Cg_probe" f.Finding.msg))
+       result.Driver.findings)
+
 let test_catalog_coverage () =
   (* Every catalogued rule has both a firing and a suppressed fixture, so the
      corpus pins each rule's detection AND its suppression path. E000 is the
@@ -364,7 +510,8 @@ let test_baseline_write_deterministic () =
   let interprocedural =
     List.filter
       (fun (e : Baseline.entry) ->
-        List.mem e.Baseline.rule [ "D009"; "D010"; "D011"; "D012"; "D013" ])
+        List.mem e.Baseline.rule
+          [ "D009"; "D010"; "D011"; "D012"; "D013"; "D014"; "D015"; "D016"; "D017"; "D018" ])
       entries
   in
   check "interprocedural rules present in the regenerated baseline" true
@@ -437,6 +584,16 @@ let test_severities () =
     (Finding.severity_name (Finding.severity_of_rule "D010"));
   Alcotest.(check string) "D006 is a warning" "warning"
     (Finding.severity_name (Finding.severity_of_rule "D006"));
+  Alcotest.(check string) "D014 is an error" "error"
+    (Finding.severity_name (Finding.severity_of_rule "D014"));
+  Alcotest.(check string) "D015 is a warning" "warning"
+    (Finding.severity_name (Finding.severity_of_rule "D015"));
+  Alcotest.(check string) "D016 is an error" "error"
+    (Finding.severity_name (Finding.severity_of_rule "D016"));
+  Alcotest.(check string) "D017 is an error" "error"
+    (Finding.severity_name (Finding.severity_of_rule "D017"));
+  Alcotest.(check string) "D018 is an error" "error"
+    (Finding.severity_name (Finding.severity_of_rule "D018"));
   Alcotest.(check string) "unknown rules downgrade to note" "note"
     (Finding.severity_name (Finding.severity_of_rule "D999"))
 
@@ -535,6 +692,17 @@ let () =
           Alcotest.test_case "catalog fully covered by fixtures" `Quick test_catalog_coverage;
           Alcotest.test_case "sym-keyed baseline survives line drift" `Quick
             test_sym_keyed_baseline;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "D014 unhandled protocol message" `Quick test_d014_unhandled;
+          Alcotest.test_case "D015 catch-all message drop" `Quick test_d015_catchall_drop;
+          Alcotest.test_case "D016 phase-transition legality" `Quick test_d016_phase_legality;
+          Alcotest.test_case "D017 fork-token conservation" `Quick test_d017_fork_conservation;
+          Alcotest.test_case "D018 worker PRNG derivation" `Quick test_d018_worker_prng;
+          Alcotest.test_case "--only rule filter" `Quick test_only_filter;
+          Alcotest.test_case "callgraph through include and functors" `Quick
+            test_callgraph_include_functor;
         ] );
       ( "gate",
         [

@@ -138,10 +138,16 @@ let build (inputs : input list) : t =
     in
     (* Candidate prefixes for a reference in scope [s], most specific
        first, ending with the empty prefix (absolute reference). *)
-    let prefixes env =
-      let rec chain = function [] -> [ [] ] | s -> s :: chain (List.rev (List.tl (List.rev s))) in
-      chain env.scope @ env.opens
+    let rec scope_chain = function
+      | [] -> [ [] ]
+      | s -> s :: scope_chain (List.rev (List.tl (List.rev s)))
     in
+    let prefixes env = scope_chain env.scope @ env.opens in
+    (* An [open M] (or [include M]) of a module defined locally in this
+       file must resolve against the enclosing scope too: inside module [A]
+       of file [F], [open Impl] may mean [F.A.Impl], [F.Impl] or a global
+       [Impl], so every scope-qualified variant becomes an open prefix. *)
+    let open_prefixes env parts = List.map (fun s -> s @ parts) (scope_chain env.scope) in
     let record_ref env ~caller ~loc (li : Longident.t) =
       match Rules.flatten li with
       | [] -> ()
@@ -178,7 +184,8 @@ let build (inputs : input list) : t =
         | Parsetree.Pexp_open (o, body) ->
             let saved = !env in
             (match module_path o.Parsetree.popen_expr with
-            | Some parts -> env := { !env with opens = expand_alias !env parts :: !env.opens }
+            | Some parts ->
+                env := { !env with opens = open_prefixes !env (expand_alias !env parts) @ !env.opens }
             | None -> ());
             it.Ast_iterator.expr it body;
             env := saved
@@ -250,7 +257,8 @@ let build (inputs : input list) : t =
           walk_body !env ~caller e
       | Parsetree.Pstr_open o -> (
           match module_path o.Parsetree.popen_expr with
-          | Some parts -> env := { !env with opens = expand_alias !env parts :: !env.opens }
+          | Some parts ->
+              env := { !env with opens = open_prefixes !env (expand_alias !env parts) @ !env.opens }
           | None -> ())
       | Parsetree.Pstr_module mb -> (
           let name = match mb.Parsetree.pmb_name.txt with Some n -> n | None -> "_" in
@@ -267,9 +275,17 @@ let build (inputs : input list) : t =
               walk_module env name mb.Parsetree.pmb_expr)
             mbs
       | Parsetree.Pstr_include i -> (
-          (* [include struct .. end] contributes to the enclosing module. *)
+          (* [include struct .. end] contributes to the enclosing module;
+             [include M] re-exports M's bindings, which for resolution
+             purposes behaves like an open of M. *)
           match i.Parsetree.pincl_mod.Parsetree.pmod_desc with
           | Parsetree.Pmod_structure s -> walk_items env s
+          | Parsetree.Pmod_ident _ -> (
+              match module_path i.Parsetree.pincl_mod with
+              | Some parts ->
+                  env :=
+                    { !env with opens = open_prefixes !env (expand_alias !env parts) @ !env.opens }
+              | None -> ())
           | _ -> ())
       | _ -> ()
     and walk_module env name (m : Parsetree.module_expr) =
@@ -280,7 +296,12 @@ let build (inputs : input list) : t =
           walk_items env s;
           env := saved
       | Parsetree.Pmod_constraint (inner, _) -> walk_module env name inner
-      | _ -> ()  (* functors allocate per application; skip *)
+      | Parsetree.Pmod_functor (_, inner) ->
+          (* Functor-body top-level lets register under the functor's name:
+             their allocation/state is per-application, but their *call and
+             message structure* is static, which is what D010/D014 need. *)
+          walk_module env name inner
+      | _ -> ()
     in
     let env = ref { scope = root_scope; opens = []; aliases = [] } in
     walk_items env inp.str
@@ -362,6 +383,7 @@ let iter_bindings (inp : input) (f : id:string -> line:int -> is_rec:bool -> Par
     match m.Parsetree.pmod_desc with
     | Parsetree.Pmod_structure s -> walk_items (scope @ [ name ]) s
     | Parsetree.Pmod_constraint (inner, _) -> walk_mod scope name inner
-    | _ -> () (* functors allocate per application; skip *)
+    | Parsetree.Pmod_functor (_, inner) -> walk_mod scope name inner
+    | _ -> ()
   in
   walk_items root_scope inp.str

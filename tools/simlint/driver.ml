@@ -110,7 +110,8 @@ let lint_file ?(force_lib = false) ~root ~rel () =
   (file_findings ~root p, p.suppressions)
 
 let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
-    ?(allowlist = wallclock_allowlist) ?(hotpath_roots = default_hotpath_roots) ~root () =
+    ?(allowlist = wallclock_allowlist) ?(hotpath_roots = default_hotpath_roots) ?(only = [])
+    ~root () =
   let files =
     dirs
     |> List.concat_map (fun d ->
@@ -137,6 +138,19 @@ let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
         (List.map (fun (input, hot_lines) -> { Alloc.input; hot_lines }) ok)
         g ~roots:hotpath_roots
     @ Escape.findings inputs
+    (* The protocol-conformance passes (D014–D018) deliberately run over
+       ALL scanned inputs — bin/bench/stress construct Msg.t values too —
+       unlike the lib-scoped hygiene rules D004–D008. *)
+    @ Msgflow.findings inputs
+    @ Protocol.findings inputs
+  in
+  (* [--only D014,D016]: restrict the run to the named rules. Baseline
+     entries for unselected rules are dropped up front so they are neither
+     consumed nor reported stale by a filtered run. *)
+  let selected (f : Finding.t) = only = [] || List.mem f.Finding.rule only in
+  let baseline =
+    if only = [] then baseline
+    else List.filter (fun (e : Baseline.entry) -> List.mem e.Baseline.rule only) baseline
   in
   let suppressions_of =
     let tbl = Hashtbl.create 64 in
@@ -155,7 +169,7 @@ let run ?(baseline = Baseline.empty) ?(dirs = default_dirs) ?(force_lib = false)
       | None -> (f, Finding.Open)
   in
   let findings =
-    List.map classify (per_file @ interprocedural)
+    List.map classify (List.filter selected (per_file @ interprocedural))
     |> List.sort (fun (a, _) (b, _) -> Finding.compare a b)
   in
   { findings; files_scanned = List.length files; stale_baseline = !remaining }

@@ -1,0 +1,25 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* Callgraph resolution fixture: [include M] behaves like an open for
+   reference resolution, and functor-body top-level lets register under the
+   functor's name. The [Cg_probe] handler lives inside the functor, so D014
+   staying silent on [Cg_probe] pins the functor descent; the bare [weight]
+   references pin include-as-open. *)
+type Msg.t += Cg_probe of int
+
+module Impl = struct
+  let weight n = n + n
+end
+
+include Impl
+
+let emit send = send (Cg_probe (weight 3))
+
+module Make (X : sig
+  val base : int
+end) =
+struct
+  let consume msg =
+    match msg with
+    | Cg_probe n -> weight (n + X.base)
+    | _other -> X.base
+end

@@ -1,0 +1,10 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* The flood-bench shape: a deliberately handler-less message whose drop is
+   justified at the construction site. *)
+type Msg.t += Mf_flood
+
+let flood ctx ~dst n =
+  for _ = 1 to n do
+    (* simlint: allow D014 — fixture: the sink is deliberately handler-less *)
+    ctx.send ~dst Mf_flood
+  done

@@ -1,0 +1,16 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D015: a match that handles a protocol constructor must not also have a
+   literal catch-all arm — Msg.t is extensible, so the wildcard silently
+   drops any constructor added later. A *named* wildcard (below) is visible
+   in review and stays clean. *)
+type Msg.t += Pf_ping of int
+
+let on_receive st msg =
+  match msg with
+  | Pf_ping n -> st.last <- n
+  | _ -> ()
+
+let classified msg =
+  match msg with
+  | Pf_ping n -> n
+  | _other -> 0

@@ -1,0 +1,10 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* A justified drop: the arms above cover this protocol family's whole
+   vocabulary, so the wildcard only absorbs other families' traffic. *)
+type Msg.t += Pf_pong of int
+
+let on_receive st msg =
+  match msg with
+  | Pf_pong n -> st.seen <- n
+  (* simlint: allow D015 — fixture: arms above cover this family's vocabulary *)
+  | _ -> ()

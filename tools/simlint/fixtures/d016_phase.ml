@@ -1,0 +1,15 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D016: a phase write whose dominating test proves an illegal hop.
+   Eating -> Hungry is not an edge of the paper's 4-cycle
+   (thinking -> hungry -> eating -> exiting -> thinking), so regressing a
+   diner straight back to hungry is flagged. The legal hop below stays
+   clean, as does a write with no dominating phase test (the pass refuses
+   to guess the source phase). *)
+
+let regress cell phase =
+  if Types.phase_equal (phase ()) Types.Eating then Cell.set cell Types.Hungry
+
+let finish cell phase =
+  if Types.phase_equal (phase ()) Types.Eating then Cell.set cell Types.Exiting
+
+let unanchored cell = Cell.set cell Types.Thinking

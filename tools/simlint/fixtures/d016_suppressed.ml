@@ -1,0 +1,7 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* A deliberate off-relation hop with its justification: a crash-recovery
+   path may re-queue a diner without passing through exiting. *)
+let requeue cell phase =
+  if Types.phase_equal (phase ()) Types.Eating then
+    (* simlint: allow D016 — fixture: crash-recovery requeue skips exiting *)
+    Cell.set cell Types.Hungry

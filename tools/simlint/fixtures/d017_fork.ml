@@ -1,0 +1,18 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D017: sending a fork token without clearing local ownership duplicates
+   it — both endpoints then believe they hold the fork and mutual exclusion
+   breaks. [grant] clears before sending and stays clean; the handler
+   records ownership, so the receive side conserves the token too (and the
+   constructor counts as handled for D014). *)
+type Msg.t += Pf_fork of int
+
+let duplicate ctx st ~dst = ctx.send ~dst (Pf_fork st.epoch)
+
+let grant ctx st ~dst =
+  st.fork_owned <- false;
+  ctx.send ~dst (Pf_fork st.epoch)
+
+let on_receive st msg =
+  match msg with
+  | Pf_fork _ -> st.fork_owned <- true
+  | _other -> ()

@@ -1,0 +1,19 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* The leak side of token conservation, with its justification: a monitor
+   tap classifies tokens in flight without taking ownership of them. The
+   sender clears before sending, so only the justified leak appears. *)
+type Msg.t += Qf_token of int
+
+let relay ctx st ~dst =
+  st.token_held <- false;
+  ctx.send ~dst (Qf_token 0)
+
+let count_in_flight msgs =
+  List.length
+    (List.filter
+       (fun m ->
+         match m with
+         (* simlint: allow D017 — fixture: monitor tap counts tokens without taking ownership *)
+         | Qf_token _ -> true
+         | _other -> false)
+       msgs)

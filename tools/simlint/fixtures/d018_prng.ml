@@ -1,0 +1,11 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* D018: a worker closure must derive its randomness from the root seed and
+   its own index. Creating a fresh PRNG inside the worker makes the draw
+   sequence independent of the campaign seed; the derived form below is the
+   sanctioned spelling and stays clean. *)
+
+let underived_campaign n =
+  Pool.map n (fun i -> Prng.int (Prng.create (7 + i)) 6)
+
+let derived_campaign root n =
+  Pool.map n (fun i -> Prng.int (Prng.derive root ~index:i) 6)

@@ -1,0 +1,8 @@
+(* simlint: allow D005 — fixture corpus file *)
+(* The capture variant: one generator shared by every worker domain, with
+   its justification — the draws interleave on scheduling, which this
+   fixture's campaign tolerates. *)
+let shared_stream_campaign sink n =
+  let rng = Prng.create 42 in
+  (* simlint: allow D018 — fixture: domains may interleave draws on the shared stream *)
+  Pool.iter n (fun i -> sink i (Prng.int rng 6))

@@ -21,6 +21,7 @@ let () =
   let baseline_update = ref false in
   let force_lib = ref false in
   let hotpaths = ref [] in
+  let only = ref [] in
   let dirs = ref [] in
   let spec =
     [
@@ -40,6 +41,15 @@ let () =
       ( "--hotpath",
         Arg.String (fun id -> hotpaths := id :: !hotpaths),
         "ID extra D011 hot root (dotted node id, e.g. Dsim.Engine.step); repeatable" );
+      ( "--only",
+        Arg.String
+          (fun s ->
+            only :=
+              !only
+              @ (String.split_on_char ',' s
+                |> List.map String.trim
+                |> List.filter (fun r -> r <> ""))),
+        "RULES run only the named rules, comma-separated (e.g. D014,D016); repeatable" );
     ]
   in
   let usage = "simlint [--root DIR] [--baseline FILE] [--json] [--sarif FILE] [DIR ...]" in
@@ -58,7 +68,7 @@ let () =
       try
         Driver.run ~dirs ~force_lib:!force_lib
           ~hotpath_roots:(Driver.default_hotpath_roots @ List.rev !hotpaths)
-          ~root:!root ()
+          ~only:!only ~root:!root ()
       with e ->
         Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
         exit 2
@@ -87,7 +97,7 @@ let () =
     try
       Driver.run ~baseline ~dirs ~force_lib:!force_lib
         ~hotpath_roots:(Driver.default_hotpath_roots @ List.rev !hotpaths)
-        ~root:!root ()
+        ~only:!only ~root:!root ()
     with e ->
       Printf.eprintf "simlint: %s\n" (Printexc.to_string e);
       exit 2

@@ -13,7 +13,7 @@
 
 let version = "2.1.0"
 let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
-let tool_version = "3.0.0"
+let tool_version = "4.0.0"
 
 let level_of (s : Finding.severity) =
   match s with Finding.Error -> "error" | Finding.Warning -> "warning" | Finding.Note -> "note"
