@@ -4,7 +4,7 @@
 # written and parses.
 
 .PHONY: all build test fmt lint baseline-update check smoke fuzz-smoke mc-smoke \
-	bench-smoke bench-diff trace-smoke clean
+	bench-smoke bench-scale bench-diff trace-smoke clean
 
 # Worker count for the parallel targets below. Results are byte-identical
 # for any J (see DESIGN.md, "Parallel execution & determinism contract"),
@@ -73,6 +73,15 @@ mc-smoke: build
 # field documents the pool width used for the refresh.
 bench-smoke: build
 	dune exec bench/main.exe -- --trials 3 -j $(J)
+
+# Engine scaling curve, n = 10^2..10^5 (ring of hygienic diners, fixed
+# total proc-tick budget — see DESIGN.md "Engine at scale"). Written to
+# its own file so a partial-suite run never clobbers the committed
+# full-suite snapshot that bench-diff compares against; the scale keys
+# also live in the full suite, so regressions are gated there.
+bench-scale: build
+	dune exec bench/main.exe -- scale2 scale3 scale4 scale5 \
+		--trials 3 -j $(J) --out _build/bench-scale.json
 
 # Perf-regression gate: stash the committed snapshot, run a fresh
 # bench-smoke (which overwrites BENCH_dining.json in place), and diff the

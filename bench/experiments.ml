@@ -830,6 +830,57 @@ let c1 () =
     "  Shape: the oracle the reduction squeezes out of a dining black box is a\n\
     \  drop-in replacement for a native ◇P in Chandra-Toueg consensus."
 
+(* ------------------------------------------------------------------ *)
+(* SC — engine scaling curve: the ROADMAP's million-philosopher target. *)
+
+(* One scaling point: a ring of [n] hygienic diners with greedy clients,
+   run for a fixed total budget of process-ticks so every point does
+   comparable work and the per-point wall times expose the engine's
+   per-process cost. Hygienic dining needs no failure detector, so the
+   whole run is engine + dining algorithm — exactly the hot path the
+   timing wheel and dense process state exist for. [retain_trace:false]
+   keeps 10^5 processes within memory; meals stream through a trace
+   subscriber. Everything printed is deterministic (seeded PRNG only);
+   wall time is the harness's job. *)
+let scale ~n () =
+  Util.section (Printf.sprintf "SC  scaling curve point: n = %d (ring, hygienic)" n);
+  let budget = 2_000_000 in
+  let ticks = max 20 (budget / n) in
+  let engine =
+    Engine.create ~seed:4242L ~retain_trace:false ~n
+      ~adversary:(Adversary.async_uniform ()) ()
+  in
+  let graph = Graphs.Conflict_graph.ring ~n in
+  let meals = ref 0 in
+  Trace.subscribe (Engine.trace engine) (fun e ->
+      match e.Trace.ev with
+      | Trace.Transition { to_ = Types.Eating; _ } -> incr meals
+      | _ -> ());
+  for pid = 0 to n - 1 do
+    let ctx = Engine.ctx engine pid in
+    let comp, handle, _ = Dining.Hygienic.component ctx ~instance:"sc" ~graph () in
+    Engine.register engine pid comp;
+    Engine.register engine pid (Dining.Clients.greedy ctx ~handle ())
+  done;
+  Engine.run engine ~until:ticks;
+  Util.table
+    ~header:[ "n"; "ticks"; "proc-ticks"; "meals"; "msgs sent"; "in flight at end" ]
+    [
+      [
+        string_of_int n;
+        string_of_int ticks;
+        string_of_int (n * ticks);
+        string_of_int !meals;
+        string_of_int (Engine.sent_total engine);
+        string_of_int (Engine.in_flight_total engine);
+      ];
+    ]
+
+let scale2 () = scale ~n:100 ()
+let scale3 () = scale ~n:1_000 ()
+let scale4 () = scale ~n:10_000 ()
+let scale5 () = scale ~n:100_000 ()
+
 let all () =
   f1 ();
   t1 ();

@@ -34,16 +34,21 @@ let registry =
     ("c1", "intro claim: extracted ◇P solves consensus", Experiments.c1);
     ("sweep", "multi-seed statistical sweep of the theorems", Experiments.sweep);
     ("m1", "engineering: message cost", Experiments.m1);
+    ("scale2", "engine scaling curve: n = 10^2 ring", Experiments.scale2);
+    ("scale3", "engine scaling curve: n = 10^3 ring", Experiments.scale3);
+    ("scale4", "engine scaling curve: n = 10^4 ring", Experiments.scale4);
+    ("scale5", "engine scaling curve: n = 10^5 ring", Experiments.scale5);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
 let usage () =
   print_endline
-    "usage: main.exe [--trials T] [-j N] [experiment ...]\navailable experiments:";
+    "usage: main.exe [--trials T] [-j N] [--out FILE] [experiment ...]\n\
+     available experiments:";
   List.iter (fun (key, doc, _) -> Printf.printf "  %-8s %s\n" key doc) registry;
   print_endline "  all      run everything (default)"
 
-let bench_path = "BENCH_dining.json"
+let default_bench_path = "BENCH_dining.json"
 
 let time_run f =
   (* The harness measures real elapsed time; wall times are reporting only
@@ -78,7 +83,7 @@ let median a =
   else if n land 1 = 1 then a.(n / 2)
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
-let write_bench ~trials ~jobs entries =
+let write_bench ~out ~trials ~jobs entries =
   let j =
     Obs.Json.Obj
       [
@@ -89,11 +94,11 @@ let write_bench ~trials ~jobs entries =
         ("experiments", Obs.Json.Arr entries);
       ]
   in
-  let oc = open_out bench_path in
+  let oc = open_out out in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Obs.Json.to_string_pretty j));
-  Printf.printf "\nbench report written to %s\n" bench_path
+  Printf.printf "\nbench report written to %s\n" out
 
 (* Bechamel stabilizes the major heap before sampling and fails if it
    cannot — impossible while sibling worker domains allocate — and it is
@@ -101,7 +106,7 @@ let write_bench ~trials ~jobs entries =
    wall sample and never rides the re-trial pool. *)
 let retrials_p (key, _, _) = key <> "micro"
 
-let run_selected ~trials ~jobs entries =
+let run_selected ~out ~trials ~jobs entries =
   let entries = Array.of_list entries in
   (* Trial 0 runs sequentially with normal output — the experiment text is
      part of the harness's human contract. *)
@@ -148,7 +153,7 @@ let run_selected ~trials ~jobs entries =
              ])
          entries)
   in
-  write_bench ~trials ~jobs json
+  write_bench ~out ~trials ~jobs json
 
 let () =
   let or_die = function
@@ -161,18 +166,24 @@ let () =
   let trials, args =
     or_die (Core.Cmdline.extract_int_flag ~names:[ "--trials" ] ~default:1 args)
   in
-  let jobs, keys =
+  let jobs, args =
     or_die (Core.Cmdline.extract_int_flag ~names:[ "-j"; "--jobs" ] ~default:1 args)
+  in
+  (* --out keeps partial-suite runs (e.g. `make bench-scale`) from
+     clobbering the committed full-suite snapshot the perf gate diffs
+     against. *)
+  let out, keys =
+    or_die (Core.Cmdline.extract_string_flag ~names:[ "--out" ] ~default:default_bench_path args)
   in
   if trials < 1 || jobs < 1 then begin
     Printf.eprintf "bench: --trials and -j must be at least 1\n";
     exit 2
   end;
   match keys with
-  | [] | [ "all" ] -> run_selected ~trials ~jobs registry
+  | [] | [ "all" ] -> run_selected ~out ~trials ~jobs registry
   | keys ->
       let unknown = List.filter (fun k -> not (List.exists (fun (key, _, _) -> key = k) registry)) keys in
       if unknown <> [] || List.mem "--help" keys || List.mem "help" keys then usage ()
       else
-        run_selected ~trials ~jobs
+        run_selected ~out ~trials ~jobs
           (List.map (fun k -> List.find (fun (key, _, _) -> key = k) registry) keys)

@@ -49,6 +49,11 @@ let extract_flag ~parse ~names ~default args =
 
 let extract_int_flag ~names ~default args = extract_flag ~parse:parse_int ~names ~default args
 
+let parse_string ~what s = if s = "" then Error (Printf.sprintf "empty %s" what) else Ok s
+
+let extract_string_flag ~names ~default args =
+  extract_flag ~parse:parse_string ~names ~default args
+
 let extract_float_flag ~names ~default args =
   extract_flag ~parse:parse_float ~names ~default args
 

@@ -27,6 +27,11 @@ val extract_int_flag :
     count ([-j]) and trial count flags of [stress/sweep.exe] and
     [bench/main.exe]. *)
 
+val extract_string_flag :
+  names:string list -> default:string -> string list -> (string * string list, string) result
+(** Same contract for a string-valued flag (empty values rejected). Used
+    for [bench/main.exe]'s [--out]. *)
+
 val extract_float_flag :
   names:string list -> default:float -> string list -> (float * string list, string) result
 (** Same contract for a float-valued flag (accepts anything

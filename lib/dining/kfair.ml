@@ -22,7 +22,7 @@ let component (ctx : Context.t) ~instance ~graph ~suspects () =
   let cell, handle = Spec.Cell.handle (Spec.Cell.create ctx ~instance) in
   let phase () = Spec.Cell.phase cell in
   let neighbors =
-    Types.Pidset.elements (Graphs.Conflict_graph.neighbors graph self)
+    Graphs.Conflict_graph.neighbor_list graph self
     |> List.map (fun peer ->
            { peer; granted = false; latest_req = None; granted_upto = min_int })
   in

@@ -124,11 +124,9 @@ let max_overtaking trace ~instance ~graph ~after ~horizon =
       List.iter
         (fun (a, b) ->
           if a >= after then
-            Types.Pidset.iter
-              (fun q ->
+            Graphs.Conflict_graph.iter_neighbors graph p (fun q ->
                 let c = List.length (List.filter (fun t -> t >= a && t < b) starts.(q)) in
-                worst := max !worst c)
-              (Graphs.Conflict_graph.neighbors graph p))
+                worst := max !worst c))
         (hungry_segments trace ~instance ~pid:p ~horizon)
   done;
   !worst

@@ -25,7 +25,7 @@ let component (ctx : Context.t) ~instance ~graph ~suspects ?(config = default_co
   let cell, handle = Spec.Cell.handle (Spec.Cell.create ctx ~instance) in
   let phase () = Spec.Cell.phase cell in
   let edges =
-    Types.Pidset.elements (Graphs.Conflict_graph.neighbors graph self)
+    Graphs.Conflict_graph.neighbor_list graph self
     |> List.map (fun peer ->
            (* The fork starts at the higher-id endpoint. *)
            { peer; has_fork = self > peer; peer_req = None; next_ask = 0 })

@@ -19,10 +19,24 @@
 
 type t
 
-val create : ?seed:int64 -> ?retain_trace:bool -> n:int -> adversary:Adversary.t -> unit -> t
+val create :
+  ?seed:int64 ->
+  ?retain_trace:bool ->
+  ?delivery:[ `Wheel | `Reference ] ->
+  n:int ->
+  adversary:Adversary.t ->
+  unit ->
+  t
 (** [retain_trace] (default [true]) is forwarded to {!Trace.create}: pass
     [false] for very long runs that stream the trace to an [Obs.Sink]
-    instead of holding it in memory. *)
+    instead of holding it in memory.
+
+    [delivery] selects the in-flight representation: [`Wheel] (default), an
+    O(1) bucketed timing wheel keyed on delivery tick with an overflow map
+    beyond the horizon, or [`Reference], the previous tree-map of buckets.
+    The two are observationally identical (same traces, same PRNG draws,
+    same delivery order — property-tested in [test/test_scale.ml]);
+    [`Reference] exists only as the oracle for that differential test. *)
 
 val n : t -> int
 val now : t -> Types.time
@@ -45,13 +59,29 @@ val is_live : t -> Types.pid -> bool
 val crashed : t -> Types.Pidset.t
 val live_set : t -> Types.Pidset.t
 
+val live_count : t -> int
+(** Number of live processes, maintained incrementally — O(1), unlike
+    [Types.Pidset.cardinal (live_set t)] which rebuilds a set per call.
+    Per-tick instrumentation should use this. *)
+
 val in_flight : t -> tag:string -> int
 (** Number of undelivered messages addressed to components named [tag]
     (including those already ripe but not yet consumed). Used by white-box
-    monitors such as the Lemma 3 checker; not available to protocols. *)
+    monitors such as the Lemma 3 checker; not available to protocols. O(1):
+    backed by per-tag counters maintained at send, crash-time discard and
+    inbox drain. *)
+
+val in_flight_scan : t -> tag:string -> int
+(** Same quantity as {!in_flight}, recomputed by walking every in-flight
+    bucket and every inbox — O(total undelivered traffic). Kept as the
+    debug cross-check for the incremental counters (see
+    [test/test_scale.ml]); monitors should call {!in_flight}. *)
 
 val in_flight_filtered : t -> tag:string -> f:(Msg.t -> bool) -> int
-(** Like {!in_flight} but counting only payloads satisfying [f]. *)
+(** Like {!in_flight} but counting only payloads satisfying [f]. This one
+    is a scan — the filter is an arbitrary predicate, so no counter can be
+    maintained for it. Its only client (the Lemma 3 monitor) runs on
+    2-process reduction pairs where traffic is tiny. *)
 
 val in_flight_total : t -> int
 (** All undelivered packets, any tag (excludes inbox-pending ones). *)

@@ -1,32 +1,89 @@
 open Dsim
 
-type t = { size : int; adj : Types.Pidset.t array }
+(* Compressed sparse rows: [adj.(off.(p) .. off.(p+1)-1)] are the neighbors
+   of [p], sorted ascending. Dense int arrays instead of a [Pidset] per
+   vertex keep a 10^5..10^6-vertex graph to two flat arrays (O(n + m)
+   words, no per-edge tree nodes) and make degree O(1) and neighbor
+   iteration a cache-friendly linear scan. Ascending adjacency order
+   matches the old [Pidset] iteration order, so every neighbor-order-
+   sensitive client (edge-state construction, monitors, POR wake) behaves
+   identically. *)
+type t = { size : int; off : int array; adj : int array }
 
 let of_edges ~n edges =
   if n <= 0 then invalid_arg "Conflict_graph.of_edges: n must be positive";
-  let adj = Array.make n Types.Pidset.empty in
   List.iter
     (fun (a, b) ->
       if a = b then invalid_arg "Conflict_graph.of_edges: self-loop";
       if a < 0 || a >= n || b < 0 || b >= n then
-        invalid_arg "Conflict_graph.of_edges: endpoint out of range";
-      adj.(a) <- Types.Pidset.add b adj.(a);
-      adj.(b) <- Types.Pidset.add a adj.(b))
+        invalid_arg "Conflict_graph.of_edges: endpoint out of range")
     edges;
-  { size = n; adj }
+  (* Encode both directions of each undirected edge as [src * n + dst];
+     sorting then groups by source with ascending destinations, and
+     adjacent duplicates merge in one pass. *)
+  let m2 = 2 * List.length edges in
+  let keys = Array.make (max 1 m2) 0 in
+  let k = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      keys.(!k) <- (a * n) + b;
+      keys.(!k + 1) <- (b * n) + a;
+      k := !k + 2)
+    edges;
+  Array.sort compare keys;
+  let off = Array.make (n + 1) 0 in
+  let adj = Array.make (max 1 m2) 0 in
+  let kept = ref 0 in
+  for i = 0 to m2 - 1 do
+    if i = 0 || keys.(i) <> keys.(i - 1) then begin
+      let src = keys.(i) / n and dst = keys.(i) mod n in
+      adj.(!kept) <- dst;
+      off.(src + 1) <- off.(src + 1) + 1;
+      incr kept
+    end
+  done;
+  for p = 0 to n - 1 do
+    off.(p + 1) <- off.(p + 1) + off.(p)
+  done;
+  { size = n; off; adj = Array.sub adj 0 !kept }
 
 let n t = t.size
-let neighbors t p = t.adj.(p)
-let are_neighbors t p q = Types.Pidset.mem q t.adj.(p)
+let degree t p = t.off.(p + 1) - t.off.(p)
+
+let iter_neighbors t p f =
+  for i = t.off.(p) to t.off.(p + 1) - 1 do
+    f t.adj.(i)
+  done
+
+let neighbor_list t p =
+  let acc = ref [] in
+  for i = t.off.(p + 1) - 1 downto t.off.(p) do
+    acc := t.adj.(i) :: !acc
+  done;
+  !acc
+
+let are_neighbors t p q =
+  (* Binary search in the sorted adjacency row of [p]. *)
+  let lo = ref t.off.(p) and hi = ref (t.off.(p + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.adj.(mid) in
+    if v = q then found := true else if v < q then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
 
 let edges t =
+  (* Rows ascend and each row is sorted, so emitting (p, q) with p < q in
+     scan order yields the sorted (min, max) list directly. *)
   let acc = ref [] in
   for p = t.size - 1 downto 0 do
-    Types.Pidset.iter (fun q -> if p < q then acc := (p, q) :: !acc) t.adj.(p)
+    for i = t.off.(p + 1) - 1 downto t.off.(p) do
+      let q = t.adj.(i) in
+      if p < q then acc := (p, q) :: !acc
+    done
   done;
-  List.sort compare !acc
-
-let degree t p = Types.Pidset.cardinal t.adj.(p)
+  !acc
 
 let max_degree t =
   let best = ref 0 in
@@ -81,6 +138,31 @@ let random ~n ~p ~rng =
   done;
   of_edges ~n !acc
 
+let gnm ~n ~m ~rng =
+  if n < 2 then invalid_arg "Conflict_graph.gnm: need n >= 2";
+  if m < 0 || m > n * (n - 1) / 2 then invalid_arg "Conflict_graph.gnm: too many edges";
+  (* Rejection-sample distinct pairs; every draw comes from [rng], so the
+     graph is a pure function of the seed. The expected number of redraws
+     stays O(m) while m is below about half of all pairs — the sparse
+     regime (m = O(n)) this generator exists for. *)
+  let seen = Hashtbl.create (2 * max 1 m) in
+  let acc = ref [] in
+  let made = ref 0 in
+  while !made < m do
+    let a = Prng.int_in rng ~lo:0 ~hi:(n - 1) in
+    let b = Prng.int_in rng ~lo:0 ~hi:(n - 1) in
+    if a <> b then begin
+      let lo = min a b and hi = max a b in
+      let key = (lo * n) + hi in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        acc := (lo, hi) :: !acc;
+        incr made
+      end
+    end
+  done;
+  of_edges ~n !acc
+
 let distance t a b =
   if a = b then Some 0
   else begin
@@ -91,13 +173,13 @@ let distance t a b =
     let found = ref None in
     while !found = None && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      Types.Pidset.iter
-        (fun v ->
-          if dist.(v) < 0 then begin
-            dist.(v) <- dist.(u) + 1;
-            if v = b then found := Some dist.(v) else Queue.add v queue
-          end)
-        t.adj.(u)
+      for i = t.off.(u) to t.off.(u + 1) - 1 do
+        let v = t.adj.(i) in
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          if v = b then found := Some dist.(v) else Queue.add v queue
+        end
+      done
     done;
     !found
   end

@@ -96,9 +96,7 @@ let visit ?cut ~registry ~graph ~delta ~phi ~por (cfg : Check.Config.t)
   let fresh_pruned = ref 0 in
   let wake pid =
     sleep.(pid) <- false;
-    Types.Pidset.iter
-      (fun q -> sleep.(q) <- false)
-      (Graphs.Conflict_graph.neighbors graph pid)
+    Graphs.Conflict_graph.iter_neighbors graph pid (fun q -> sleep.(q) <- false)
   in
   let sibling d = Array.of_list (List.rev (d :: !chosen)) in
   let controller q =

@@ -22,7 +22,7 @@ let install ~metrics engine =
       st.ticks <- st.ticks + 1;
       Metrics.incr ticks;
       Metrics.observe depth (Engine.in_flight_total engine);
-      Metrics.set live (Types.Pidset.cardinal (Engine.live_set engine)));
+      Metrics.set live (Engine.live_count engine));
   (* Hunger latency via the span layer: a streaming (memory-free) span
      collector closes a diner's Hungry span on the transition out of
      Hungry; when the next phase is Eating, the span length is one
